@@ -1,0 +1,18 @@
+"""Shared configuration for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one table or figure from the paper's
+evaluation and asserts its *shape checks* (see DESIGN.md).  Set
+``REPRO_BENCH_SCALE`` (default 0.3) to trade wall time for fidelity;
+EXPERIMENTS.md records a scale-1.0 run.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.3"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE

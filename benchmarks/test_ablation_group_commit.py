@@ -1,0 +1,19 @@
+"""Ablation: group commit.
+
+Regenerates the experiment via :func:`repro.bench.experiments.ablation_group_commit`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import ablation_group_commit
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_ablation_group_commit(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_group_commit(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Ablation: parallel force+propose (Fig. 4).
+
+Regenerates the experiment via :func:`repro.bench.experiments.ablation_parallel_propose`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import ablation_parallel_propose
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_ablation_parallel_propose(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_parallel_propose(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Ablation: commit piggybacking (D.1).
+
+Regenerates the experiment via :func:`repro.bench.experiments.ablation_piggyback_commits`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import ablation_piggyback_commits
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_ablation_piggyback(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_piggyback_commits(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Figure 8: average read latency vs load.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig8_read_latency`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig8_read_latency
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig08(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig8_read_latency(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

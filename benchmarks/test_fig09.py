@@ -1,0 +1,19 @@
+"""Figure 9: average write latency vs load.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig9_write_latency`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig9_write_latency
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig09(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig9_write_latency(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Figure 11: write latency vs cluster size (EC2).
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig11_scaling`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig11_scaling
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_scaling(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Figure 12: mixed workload latency vs write percentage.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig12_mixed`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig12_mixed
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig12(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_mixed(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

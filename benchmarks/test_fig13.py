@@ -1,0 +1,19 @@
+"""Figure 13: write latency with an SSD log.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig13_ssd`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig13_ssd
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig13(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13_ssd(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

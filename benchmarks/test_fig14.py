@@ -1,0 +1,19 @@
+"""Figure 14: conditional put vs regular put.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig14_conditional_put`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig14_conditional_put
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14_conditional_put(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Figure 15: Cassandra weak vs quorum writes.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig15_weak_writes`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig15_weak_writes
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig15(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig15_weak_writes(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Figure 16: writes with a main-memory log.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig16_memory_log`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import fig16_memory_log
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig16(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig16_memory_log(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,19 @@
+"""Table 1: cohort recovery time vs commit period.
+
+Regenerates the experiment via :func:`repro.bench.experiments.table1_recovery`,
+prints the same rows/series the paper reports, and asserts the expected
+shape (who wins, by roughly what factor).
+"""
+
+from repro.bench.experiments import table1_recovery
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_recovery(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -1,0 +1,86 @@
+"""Leadership rebalancing after a failure — the §10 future-work item.
+
+All of a cohort's writes flow through its leader (§8.3), so leader
+placement determines load balance.  This script:
+
+1. boots a 5-node cluster (one leader per node, Fig. 2 layout);
+2. kills a node — a surviving peer absorbs its cohort and now leads two;
+3. restarts the node, which rejoins as a follower (leading nothing);
+4. plans and executes graceful leadership transfers
+   (``repro.core.loadbalance``) back to one leader per node — with zero
+   downtime beyond the momentary write block of the handoff drain.
+
+Run with::
+
+    python examples/leader_rebalance.py
+"""
+
+from collections import Counter
+
+from repro.core import Role, SpinnakerCluster, SpinnakerConfig
+from repro.core.loadbalance import plan_rebalance, transfer_leadership
+from repro.sim.disk import DiskProfile
+from repro.sim.process import spawn
+
+
+def leader_map(cluster):
+    return {c.cohort_id: cluster.leader_of(c.cohort_id)
+            for c in cluster.partitioner.cohorts}
+
+
+def show(cluster, label):
+    leaders = leader_map(cluster)
+    counts = Counter(v for v in leaders.values() if v)
+    print(f"[{label}]")
+    for cohort_id, leader in sorted(leaders.items()):
+        print(f"  cohort {cohort_id}: leader={leader}")
+    print(f"  leaders per node: {dict(sorted(counts.items()))}\n")
+    return leaders
+
+
+def main() -> None:
+    config = SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
+                             commit_period=0.3)
+    cluster = SpinnakerCluster(n_nodes=5, config=config, seed=88)
+    cluster.start()
+    cluster.run(2.0)
+    show(cluster, "bootstrap: balanced")
+
+    victim = cluster.leader_of(0)
+    print(f"killing {victim}...\n")
+    cluster.kill_leader(0)
+    cluster.run_until(lambda: cluster.leader_of(0) is not None,
+                      limit=30.0, what="failover")
+    cluster.restart_node(victim)
+    replica = cluster.replica(victim, 0)
+    cluster.run_until(lambda: replica.role == Role.FOLLOWER, limit=30.0,
+                      what="victim rejoined")
+    cluster.run(1.0)
+    leaders = show(cluster, "after failover: skewed")
+
+    moves = plan_rebalance(cluster.partitioner, leaders)
+    print(f"rebalance plan: {moves}\n")
+    for cohort_id, src, dst in moves:
+        source_replica = cluster.replica(src, cohort_id)
+
+        def handoff(rep=source_replica, to=dst):
+            ok = yield from transfer_leadership(rep, to)
+            return ok
+
+        proc = spawn(cluster.sim, handoff())
+        cluster.run_until(lambda: proc.triggered, limit=30.0,
+                          what="handoff")
+        assert proc.result() is True
+        cluster.run_until(lambda: cluster.leader_of(cohort_id) == dst,
+                          limit=30.0, what="takeover")
+        print(f"  cohort {cohort_id}: {src} -> {dst} (done)")
+    cluster.run(1.0)
+    print()
+    leaders = show(cluster, "after rebalance: balanced again")
+    counts = Counter(leaders.values())
+    assert max(counts.values()) == 1
+    print("rebalance OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Command-line entry point.
+
+``python -m repro``            — overview + experiment list
+``python -m repro bench ...``  — run experiments (see repro.bench.report)
+``python -m repro demo``       — a 30-second guided failover demo
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _overview() -> None:
+    from .bench.experiments import ALL_EXPERIMENTS
+    print(__doc__)
+    print("Experiments (python -m repro bench <name> [--scale S]):")
+    for name, fn in ALL_EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:<22s} {doc}")
+
+
+def _demo() -> None:
+    from .core import SpinnakerCluster, SpinnakerConfig
+    from .sim.disk import DiskProfile
+    from .sim.process import spawn
+    from .sim.tracing import Tracer
+
+    tracer = Tracer()
+    config = SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
+                             commit_period=0.3)
+    cluster = SpinnakerCluster(n_nodes=5, config=config, seed=7,
+                               tracer=tracer)
+    cluster.start()
+    client = cluster.client()
+
+    def session():
+        yield from client.put(b"demo", b"v", b"hello")
+        got = yield from client.get(b"demo", b"v", consistent=True)
+        return got
+
+    proc = spawn(cluster.sim, session())
+    cluster.run_until(lambda: proc.triggered, limit=30.0, what="demo ops")
+    print(f"wrote and read back: {proc.result().value!r}\n")
+    t_kill = cluster.sim.now
+    victim = cluster.kill_leader(0)
+    cluster.run_until(lambda: cluster.leader_of(0) is not None,
+                      limit=30.0, what="failover")
+    print(f"killed {victim}; new leader of cohort 0: "
+          f"{cluster.leader_of(0)}")
+    print("\nprotocol trace of the failover:")
+    print(tracer.format(since=t_kill))
+
+
+def main(argv) -> int:
+    if not argv:
+        _overview()
+        return 0
+    command, rest = argv[0], argv[1:]
+    if command == "bench":
+        from .bench.report import main as bench_main
+        return bench_main(rest)
+    if command == "demo":
+        _demo()
+        return 0
+    print(f"unknown command {command!r}; try 'bench' or 'demo'")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

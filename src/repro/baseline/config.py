@@ -1,0 +1,76 @@
+"""Tunables for the eventually consistent baseline.
+
+Where a knob models the same physical thing as in Spinnaker (CPU cost of
+a read, log-force profile, cores) the default matches
+:class:`repro.core.config.SpinnakerConfig` — Spinnaker was derived from
+the Cassandra codebase precisely so the comparison isolates the
+replication protocol (Appendix C), and our two stores share the storage
+and hardware models the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.disk import DiskProfile
+
+__all__ = ["CassandraConfig", "WEAK", "QUORUM"]
+
+#: consistency levels (subset the paper evaluates)
+WEAK = "weak"
+QUORUM = "quorum"
+
+
+@dataclass
+class CassandraConfig:
+    """Knobs for the baseline store."""
+
+    replication_factor: int = 3
+
+    # -- hardware (matched to SpinnakerConfig) ---------------------------
+    cores_per_node: int = 8
+    log_profile: DiskProfile = field(default_factory=DiskProfile.sata_log)
+    group_commit: bool = True
+
+    # -- CPU service times ------------------------------------------------
+    #: per-read CPU+network-stack cost at a replica (same as Spinnaker)
+    read_service: float = 1.8e-3
+    #: coordinator-side cost of a quorum read: merging responses and
+    #: checking for conflicts caused by eventual consistency (§9.1)
+    conflict_check_service: float = 1.6e-3
+    #: replica-side cost to process a write
+    write_replica_service: float = 0.3e-3
+    #: coordinator-side cost to fan a write out
+    write_coordinator_service: float = 0.55e-3
+
+    # -- anti-entropy ---------------------------------------------------
+    #: how long the coordinator waits before writing a hint for a
+    #: replica that did not ack (hinted handoff)
+    hint_timeout: float = 1.0
+    #: how often stored hints are replayed
+    hint_replay_interval: float = 5.0
+    #: read repair runs in the background on quorum-read mismatches
+    read_repair: bool = True
+
+    # -- storage ----------------------------------------------------------
+    flush_threshold_bytes: int = 64 * 1024 * 1024
+
+    # -- client ----------------------------------------------------------
+    client_op_timeout: float = 10.0
+    client_retry_backoff: float = 0.02
+    rpc_timeout: float = 2.0
+
+    def validate(self) -> "CassandraConfig":
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        return self
+
+    def acks_for(self, consistency: str) -> int:
+        if consistency == WEAK:
+            return 1
+        if consistency == QUORUM:
+            return self.replication_factor // 2 + 1
+        raise ValueError(f"unknown consistency {consistency!r}")
+
+    def reads_for(self, consistency: str) -> int:
+        return self.acks_for(consistency)

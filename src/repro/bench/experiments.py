@@ -1,0 +1,557 @@
+"""One function per table/figure of the paper's evaluation (§9, §D).
+
+Every function returns an :class:`ExperimentResult` holding labelled
+series (lists of :class:`~repro.bench.harness.LoadPoint` or plain rows)
+plus automated *shape checks* — the acceptance criteria from DESIGN.md
+(who wins, by roughly what factor).  ``scale`` trades fidelity for wall
+time: 1.0 runs the full sweeps recorded in EXPERIMENTS.md; the benchmark
+suite defaults to a smaller scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..baseline import CassandraConfig
+from ..core import SpinnakerCluster, SpinnakerConfig
+from ..core.partition import key_of
+from ..sim.disk import DiskProfile
+from ..sim.process import spawn
+from .harness import CassandraTarget, LoadPoint, SpinnakerTarget, run_load
+from .workload import (VALUE_SIZE, conditional_put_workload, mixed_workload,
+                       read_workload, write_workload)
+
+__all__ = [
+    "ExperimentResult",
+    "fig8_read_latency", "fig9_write_latency", "table1_recovery",
+    "fig11_scaling", "fig12_mixed", "fig13_ssd", "fig14_conditional_put",
+    "fig15_weak_writes", "fig16_memory_log",
+    "ablation_parallel_propose", "ablation_group_commit",
+    "ablation_piggyback_commits", "ablation_skewed_reads",
+    "ALL_EXPERIMENTS",
+]
+
+
+@dataclass
+class ExperimentResult:
+    exp_id: str
+    title: str
+    series: Dict[str, List] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values())
+
+
+def _threads(base: List[int], scale: float, floor: int = 2) -> List[int]:
+    out = []
+    for t in base:
+        scaled = max(floor, int(round(t * scale)))
+        if not out or scaled > out[-1]:
+            out.append(scaled)
+    return out
+
+
+def _ops(scale: float, base: int = 50) -> int:
+    return max(15, int(round(base * min(1.0, scale * 2))))
+
+
+def _interp_at(points: List[LoadPoint], load: float) -> Optional[float]:
+    """Mean latency (ms) interpolated at a given throughput."""
+    pts = sorted(points, key=lambda p: p.throughput)
+    if not pts or load < pts[0].throughput:
+        return pts[0].mean_ms if pts else None
+    for lo, hi in zip(pts, pts[1:]):
+        if lo.throughput <= load <= hi.throughput:
+            span = hi.throughput - lo.throughput
+            if span <= 0:
+                return lo.mean_ms
+            frac = (load - lo.throughput) / span
+            return lo.mean_ms * (1 - frac) + hi.mean_ms * frac
+    return None  # beyond the curve's knee
+
+
+def _max_load(points: List[LoadPoint]) -> float:
+    return max(p.throughput for p in points)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: average read latency vs load
+# ---------------------------------------------------------------------------
+
+def fig8_read_latency(scale: float = 1.0, seed: int = 1,
+                      n_nodes: int = 10) -> ExperimentResult:
+    """§9.1: Spinnaker consistent/timeline vs Cassandra quorum/weak."""
+    ths = _threads([8, 24, 64, 128, 256, 384, 512], scale)
+    ops = _ops(scale)
+    result = ExperimentResult("fig8", "Average read latency vs load")
+
+    def sweep_reads(label, factory, mode):
+        wl = read_workload(mode, preload_rows=500)
+        result.series[label] = [
+            run_load(factory(), wl, t, ops_per_thread=ops, warmup_ops=15)
+            for t in ths]
+
+    sweep_reads("spinnaker-consistent",
+                lambda: SpinnakerTarget(n_nodes, seed=seed), "strong")
+    sweep_reads("spinnaker-timeline",
+                lambda: SpinnakerTarget(n_nodes, seed=seed), "timeline")
+    sweep_reads("cassandra-quorum",
+                lambda: CassandraTarget(n_nodes, seed=seed), "quorum")
+    sweep_reads("cassandra-weak",
+                lambda: CassandraTarget(n_nodes, seed=seed), "weak")
+
+    cons = result.series["spinnaker-consistent"]
+    tl = result.series["spinnaker-timeline"]
+    quo = result.series["cassandra-quorum"]
+    weak = result.series["cassandra-weak"]
+    # Shape checks (paper: quorum 1.5x-3.0x worse; knee sooner;
+    # timeline ~= weak).
+    ratios = []
+    for point in quo:
+        base = _interp_at(cons, point.throughput)
+        if base:
+            ratios.append(point.mean_ms / base)
+    result.checks["quorum_read_1.5x_to_3x_slower"] = (
+        bool(ratios) and max(ratios) >= 1.5 and min(ratios) >= 1.0)
+    result.checks["quorum_knee_before_consistent"] = (
+        _max_load(quo) < 0.8 * _max_load(cons))
+    tl_low, weak_low = tl[0].mean_ms, weak[0].mean_ms
+    result.checks["timeline_matches_weak"] = (
+        abs(tl_low - weak_low) / weak_low < 0.25)
+    result.notes = (f"low-load ms: consistent={cons[0].mean_ms:.2f} "
+                    f"timeline={tl_low:.2f} quorum={quo[0].mean_ms:.2f} "
+                    f"weak={weak_low:.2f}")
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: average write latency vs load (SATA log)
+# ---------------------------------------------------------------------------
+
+def _write_sweep(result, ths, ops, spin_cfg=None, cass_cfg=None,
+                 seed=1, n_nodes=10, spin_label="spinnaker-writes",
+                 cass_label="cassandra-quorum-writes",
+                 cass_mode="quorum", include_cassandra=True):
+    wl_spin = write_workload()
+    result.series[spin_label] = [
+        run_load(SpinnakerTarget(n_nodes, config=spin_cfg, seed=seed),
+                 wl_spin, t, ops_per_thread=ops, warmup_ops=10)
+        for t in ths]
+    if include_cassandra:
+        wl_cass = write_workload(cass_mode)
+        result.series[cass_label] = [
+            run_load(CassandraTarget(n_nodes, config=cass_cfg, seed=seed),
+                     wl_cass, t, ops_per_thread=ops, warmup_ops=10)
+            for t in ths]
+
+
+def fig9_write_latency(scale: float = 1.0, seed: int = 1,
+                       n_nodes: int = 10) -> ExperimentResult:
+    """§9.2: Spinnaker writes 5-10% slower than Cassandra quorum writes."""
+    ths = _threads([4, 8, 16, 32, 64, 96], scale)
+    result = ExperimentResult("fig9", "Average write latency vs load")
+    _write_sweep(result, ths, _ops(scale, 40), seed=seed, n_nodes=n_nodes)
+    spin = result.series["spinnaker-writes"]
+    cass = result.series["cassandra-quorum-writes"]
+    gaps = [s.mean_ms / c.mean_ms - 1.0 for s, c in zip(spin, cass)]
+    mean_gap = sum(gaps) / len(gaps)
+    # Paper: 5-10% across the board.  Individual points are noisy at
+    # small sample sizes, so bound each loosely and the mean tightly.
+    result.checks["per_point_gap_reasonable"] = all(
+        -0.08 <= g <= 0.25 for g in gaps)
+    result.checks["mean_gap_roughly_5_to_10pct"] = 0.02 <= mean_gap <= 0.18
+    result.notes = (f"mean gap {mean_gap:+.1%}; per point: "
+                    + ", ".join(f"{g:+.1%}" for g in gaps))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 1: cohort recovery time vs commit period
+# ---------------------------------------------------------------------------
+
+def table1_recovery(scale: float = 1.0, seed: int = 2,
+                    commit_periods: Optional[List[float]] = None
+                    ) -> ExperimentResult:
+    """§D.1: leader killed; recovery time proportional to commit period.
+
+    Per the paper, the coordination-service failure-detection timeout is
+    excluded: the leader's session is expired at kill time.
+    """
+    periods = commit_periods or [1.0, 5.0, 10.0, 15.0]
+    if scale < 0.5:
+        periods = [p for p in periods if p <= 5.0] or periods[:2]
+    result = ExperimentResult(
+        "table1", "Cohort recovery time vs commit period")
+    rows = []
+    for period in periods:
+        recovery = _measure_recovery(period, seed)
+        rows.append({"commit_period_s": period,
+                     "recovery_time_s": round(recovery, 3)})
+    result.series["recovery"] = rows
+    times = [r["recovery_time_s"] for r in rows]
+    result.checks["recovery_grows_with_commit_period"] = all(
+        b > a for a, b in zip(times, times[1:]))
+    result.checks["subsecond_at_1s_period"] = times[0] < 1.0
+    if len(times) >= 2:
+        slope = ((times[-1] - times[0])
+                 / (rows[-1]["commit_period_s"] - rows[0]["commit_period_s"]))
+        result.checks["roughly_linear_slope"] = 0.05 < slope < 1.0
+        result.notes = f"slope={slope:.3f} s/s (paper ~0.26 s/s)"
+    return result
+
+
+def _measure_recovery(commit_period: float, seed: int,
+                      config: Optional[SpinnakerConfig] = None) -> float:
+    cfg = config or SpinnakerConfig()
+    cfg.commit_period = commit_period
+    cluster = SpinnakerCluster(n_nodes=5, config=cfg, seed=seed)
+    cluster.start()
+    client = cluster.client("t1client")
+    cohort_id = 0
+    # A single client writes 4KB values routed to one cohort (§D.1).
+    keys = []
+    i = 0
+    while len(keys) < 5000:
+        key = b"t1-%d" % i
+        if cluster.partitioner.cohort_for_key(
+                key_of(key)).cohort_id == cohort_id:
+            keys.append(key)
+        i += 1
+    stop = {"stop": False}
+    value = b"x" * VALUE_SIZE
+
+    def writer():
+        from ..core.datamodel import DatastoreError
+        for key in keys:
+            if stop["stop"]:
+                return
+            try:
+                yield from client.put(key, b"v", value)
+            except DatastoreError:
+                continue
+
+    spawn(cluster.sim, writer(), name="t1-writer")
+    leader_name = cluster.leader_of(cohort_id)
+    replica = cluster.replica(leader_name, cohort_id)
+    # Let the pipeline warm up past one commit broadcast...
+    cluster.run_until(lambda: replica.last_broadcast_at > 0, limit=60.0,
+                      what="first commit broadcast")
+    cluster.run(commit_period * 1.0)
+    # ...then kill the leader just before the *next* commit message, so
+    # the unresolved backlog spans (almost) a full commit period.
+    target = replica.last_broadcast_at + 0.95 * commit_period
+    if target > cluster.sim.now:
+        cluster.run(target - cluster.sim.now)
+    t_kill = cluster.sim.now
+    cluster.kill_leader(cohort_id, skip_detection=True)
+    stop["stop"] = True
+    cluster.run_until(lambda: cluster.leader_of(cohort_id) is not None,
+                      limit=300.0, step=0.01, what="re-election")
+    return cluster.sim.now - t_kill
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: write latency vs cluster size (EC2)
+# ---------------------------------------------------------------------------
+
+def fig11_scaling(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """§D.2: latency stays ~flat as the cluster grows (fixed per-node
+    load).  EC2 could not disable the disk write cache, so the EC2 disk
+    profile applies."""
+    sizes = [20, 40, 80] if scale >= 1.0 else [10, 20, 40]
+    threads_per_node = 3
+    ops = _ops(scale, 40)
+    result = ExperimentResult("fig11",
+                              "Write latency vs cluster size (EC2)")
+    spin_rows, cass_rows = [], []
+    for n in sizes:
+        spin_cfg = SpinnakerConfig(log_profile=DiskProfile.ec2_log())
+        cass_cfg = CassandraConfig(log_profile=DiskProfile.ec2_log())
+        spin = run_load(SpinnakerTarget(n, config=spin_cfg, seed=seed),
+                        write_workload(), n * threads_per_node,
+                        ops_per_thread=ops, warmup_ops=10)
+        cass = run_load(CassandraTarget(n, config=cass_cfg, seed=seed),
+                        write_workload("quorum"), n * threads_per_node,
+                        ops_per_thread=ops, warmup_ops=10)
+        spin_rows.append({"nodes": n, "mean_ms": spin.mean_ms,
+                          "throughput": spin.throughput})
+        cass_rows.append({"nodes": n, "mean_ms": cass.mean_ms,
+                          "throughput": cass.throughput})
+    result.series["spinnaker-writes"] = spin_rows
+    result.series["cassandra-quorum-writes"] = cass_rows
+    for label, rows in result.series.items():
+        lats = [r["mean_ms"] for r in rows]
+        result.checks[f"{label}_flat"] = max(lats) / min(lats) < 1.35
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: mixed workload, latency vs write percentage
+# ---------------------------------------------------------------------------
+
+def fig12_mixed(scale: float = 1.0, seed: int = 1,
+                n_nodes: int = 10) -> ExperimentResult:
+    """§D.3: fixed load (2 client threads), write %% swept 0-60%."""
+    fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+    if scale < 0.5:
+        fractions = [0.0, 0.1, 0.3, 0.5]
+    ops = _ops(scale, 120)
+    threads = 2
+    result = ExperimentResult("fig12", "Mixed workload latency vs write %")
+
+    def series(label, factory, read_mode):
+        rows = []
+        for frac in fractions:
+            wl = mixed_workload(frac, read_mode)
+            point = run_load(factory(), wl, threads, ops_per_thread=ops,
+                             warmup_ops=10)
+            rows.append({"write_pct": int(frac * 100),
+                         "mean_ms": point.mean_ms})
+        result.series[label] = rows
+
+    series("spinnaker-consistent-mix",
+           lambda: SpinnakerTarget(n_nodes, seed=seed), "strong")
+    series("spinnaker-timeline-mix",
+           lambda: SpinnakerTarget(n_nodes, seed=seed), "timeline")
+    series("cassandra-quorum-mix",
+           lambda: CassandraTarget(n_nodes, seed=seed), "quorum")
+    series("cassandra-weak-mix",
+           lambda: CassandraTarget(n_nodes, seed=seed), "weak")
+
+    for label, rows in result.series.items():
+        lats = [r["mean_ms"] for r in rows]
+        result.checks[f"{label}_rises_with_writes"] = lats[-1] > lats[0]
+    # At low write %, the consistent mix beats the quorum mix; at high
+    # write %, Cassandra closes the gap / wins (paper: +10% vs -7%).
+    spin = {r["write_pct"]: r["mean_ms"]
+            for r in result.series["spinnaker-consistent-mix"]}
+    cass = {r["write_pct"]: r["mean_ms"]
+            for r in result.series["cassandra-quorum-mix"]}
+    low = min(p for p in spin if p > 0)
+    high = max(spin)
+    result.checks["spinnaker_wins_low_write_pct"] = spin[low] < cass[low]
+    result.checks["gap_narrows_or_flips_at_high_write_pct"] = (
+        (cass[high] - spin[high]) / spin[high]
+        < (cass[low] - spin[low]) / spin[low])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 13-16 and ablations
+# ---------------------------------------------------------------------------
+
+def fig13_ssd(scale: float = 1.0, seed: int = 1,
+              n_nodes: int = 10) -> ExperimentResult:
+    """§D.4: SSD log drops write latency to ~6 ms or less."""
+    ths = _threads([8, 24, 64, 128, 256], scale)
+    result = ExperimentResult("fig13", "Write latency with an SSD log")
+    _write_sweep(result, ths, _ops(scale, 40),
+                 spin_cfg=SpinnakerConfig(log_profile=DiskProfile.ssd_log()),
+                 cass_cfg=CassandraConfig(log_profile=DiskProfile.ssd_log()),
+                 seed=seed, n_nodes=n_nodes,
+                 spin_label="spinnaker-writes-ssd",
+                 cass_label="cassandra-quorum-writes-ssd")
+    spin = result.series["spinnaker-writes-ssd"]
+    cass = result.series["cassandra-quorum-writes-ssd"]
+    result.checks["most_points_under_6ms"] = (
+        sum(p.mean_ms <= 6.0 for p in spin + cass)
+        >= 0.7 * len(spin + cass))
+    result.notes = (f"spinnaker low-load {spin[0].mean_ms:.2f} ms; "
+                    f"cassandra {cass[0].mean_ms:.2f} ms")
+    return result
+
+
+def fig14_conditional_put(scale: float = 1.0, seed: int = 1,
+                          n_nodes: int = 10) -> ExperimentResult:
+    """§D.5: conditional put marginally worse than regular put."""
+    ths = _threads([4, 8, 16, 32, 64, 96], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult("fig14", "Conditional put vs regular put")
+    result.series["regular-put"] = [
+        run_load(SpinnakerTarget(n_nodes, seed=seed), write_workload(), t,
+                 ops_per_thread=ops, warmup_ops=10) for t in ths]
+    result.series["conditional-put"] = [
+        run_load(SpinnakerTarget(n_nodes, seed=seed),
+                 conditional_put_workload(), t,
+                 ops_per_thread=ops, warmup_ops=10) for t in ths]
+    reg = result.series["regular-put"]
+    cond = result.series["conditional-put"]
+    gaps = [c.mean_ms / r.mean_ms - 1.0 for c, r in zip(cond, reg)]
+    result.checks["conditional_marginally_worse"] = all(
+        -0.03 <= g <= 0.35 for g in gaps)
+    result.checks["conditional_not_free"] = sum(gaps) / len(gaps) > 0.0
+    result.notes = "gap per point: " + ", ".join(f"{g:+.1%}" for g in gaps)
+    return result
+
+
+def fig15_weak_writes(scale: float = 1.0, seed: int = 1,
+                      n_nodes: int = 10) -> ExperimentResult:
+    """§D.6.1: Cassandra quorum writes 40-50% slower than weak writes."""
+    ths = _threads([4, 8, 16, 32, 64, 96], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult("fig15", "Cassandra weak vs quorum writes")
+    result.series["cassandra-weak-writes"] = [
+        run_load(CassandraTarget(n_nodes, seed=seed),
+                 write_workload("weak"), t,
+                 ops_per_thread=ops, warmup_ops=10) for t in ths]
+    result.series["cassandra-quorum-writes"] = [
+        run_load(CassandraTarget(n_nodes, seed=seed),
+                 write_workload("quorum"), t,
+                 ops_per_thread=ops, warmup_ops=10) for t in ths]
+    weak = result.series["cassandra-weak-writes"]
+    quo = result.series["cassandra-quorum-writes"]
+    gaps = [q.mean_ms / w.mean_ms - 1.0 for q, w in zip(quo, weak)]
+    result.checks["quorum_25_to_70pct_slower"] = all(
+        0.10 <= g <= 0.80 for g in gaps)
+    result.notes = "gap per point: " + ", ".join(f"{g:+.0%}" for g in gaps)
+    return result
+
+
+def fig16_memory_log(scale: float = 1.0, seed: int = 1,
+                     n_nodes: int = 10) -> ExperimentResult:
+    """§D.6.2: commit to 2-of-3 main-memory logs → ~2 ms writes."""
+    ths = _threads([8, 24, 64, 128, 256], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult("fig16", "Writes with a main-memory log")
+    cfg = SpinnakerConfig(log_profile=DiskProfile.memory_log())
+    result.series["spinnaker-writes-memlog"] = [
+        run_load(SpinnakerTarget(n_nodes, config=cfg, seed=seed),
+                 write_workload(), t, ops_per_thread=ops, warmup_ops=10)
+        for t in ths]
+    points = result.series["spinnaker-writes-memlog"]
+    result.checks["around_2ms_before_knee"] = (
+        min(p.mean_ms for p in points) <= 3.0)
+    result.notes = f"low-load latency {points[0].mean_ms:.2f} ms"
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ---------------------------------------------------------------------------
+
+def ablation_parallel_propose(scale: float = 1.0,
+                              seed: int = 1) -> ExperimentResult:
+    """Fig. 4's parallel force+propose vs a naive serialized leader."""
+    ths = _threads([8, 32, 64], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult(
+        "ablation-parallel", "Parallel vs serialized force+propose")
+    for label, flag in (("parallel", True), ("serialized", False)):
+        cfg = SpinnakerConfig(parallel_force_and_propose=flag)
+        result.series[label] = [
+            run_load(SpinnakerTarget(10, config=cfg, seed=seed),
+                     write_workload(), t, ops_per_thread=ops,
+                     warmup_ops=10) for t in ths]
+    par = result.series["parallel"]
+    ser = result.series["serialized"]
+    result.checks["parallel_is_faster"] = all(
+        p.mean_ms < s.mean_ms for p, s in zip(par, ser))
+    gaps = [s.mean_ms / p.mean_ms - 1.0 for p, s in zip(par, ser)]
+    result.notes = "serialized penalty: " + ", ".join(
+        f"{g:+.0%}" for g in gaps)
+    return result
+
+
+def ablation_group_commit(scale: float = 1.0,
+                          seed: int = 1) -> ExperimentResult:
+    """Group commit [13] under concurrent writers."""
+    ths = _threads([16, 48, 96], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult("ablation-groupcommit",
+                              "Group commit on vs off")
+    for label, flag in (("group-commit", True), ("no-group-commit", False)):
+        cfg = SpinnakerConfig(group_commit=flag)
+        result.series[label] = [
+            run_load(SpinnakerTarget(10, config=cfg, seed=seed),
+                     write_workload(), t, ops_per_thread=ops,
+                     warmup_ops=10) for t in ths]
+    on = result.series["group-commit"]
+    off = result.series["no-group-commit"]
+    result.checks["group_commit_helps_under_load"] = (
+        on[-1].mean_ms < off[-1].mean_ms)
+    return result
+
+
+def ablation_piggyback_commits(scale: float = 1.0,
+                               seed: int = 3) -> ExperimentResult:
+    """§D.1's note: piggybacking commit info on proposes shrinks the
+    unresolved window, making recovery time ~independent of the commit
+    period."""
+    periods = [1.0, 5.0] if scale < 1.0 else [1.0, 5.0, 10.0]
+    result = ExperimentResult(
+        "ablation-piggyback", "Commit piggybacking vs recovery time")
+    rows_plain, rows_piggy = [], []
+    for period in periods:
+        plain = _measure_recovery(period, seed)
+        cfg = SpinnakerConfig(piggyback_commits=True)
+        piggy = _measure_recovery(period, seed, config=cfg)
+        rows_plain.append({"commit_period_s": period,
+                           "recovery_time_s": round(plain, 3)})
+        rows_piggy.append({"commit_period_s": period,
+                           "recovery_time_s": round(piggy, 3)})
+    result.series["periodic-commit-msgs"] = rows_plain
+    result.series["piggybacked-commits"] = rows_piggy
+    spread_plain = (rows_plain[-1]["recovery_time_s"]
+                    - rows_plain[0]["recovery_time_s"])
+    spread_piggy = (rows_piggy[-1]["recovery_time_s"]
+                    - rows_piggy[0]["recovery_time_s"])
+    result.checks["piggyback_flattens_recovery"] = (
+        spread_piggy < 0.5 * spread_plain)
+    return result
+
+
+def ablation_skewed_reads(scale: float = 1.0,
+                          seed: int = 1) -> ExperimentResult:
+    """Beyond the paper: Zipfian key skew concentrates strong reads on
+    the hot range's leader, while timeline reads spread the hot range
+    over its three replicas — quantifying the §8.3 trade-off ("all the
+    reads for a cohort have to be routed to the cohort's leader")."""
+    ths = _threads([64, 160, 256], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult(
+        "ablation-skew", "Uniform vs Zipfian reads (strong vs timeline)")
+    for label, mode, dist in (
+            ("strong-uniform", "strong", "uniform"),
+            ("strong-zipfian", "strong", "zipfian"),
+            ("timeline-zipfian", "timeline", "zipfian")):
+        wl = read_workload(mode, preload_rows=500)
+        wl.key_distribution = dist
+        result.series[label] = [
+            run_load(SpinnakerTarget(10, seed=seed), wl, t,
+                     ops_per_thread=ops, warmup_ops=15) for t in ths]
+    uniform = result.series["strong-uniform"]
+    skewed = result.series["strong-zipfian"]
+    timeline = result.series["timeline-zipfian"]
+    # Skew hurts strong reads (hot leader saturates)...
+    result.checks["skew_hurts_strong_reads"] = (
+        skewed[-1].mean_ms > 1.2 * uniform[-1].mean_ms)
+    # ...and timeline reads absorb the same skew far better.
+    result.checks["timeline_absorbs_skew"] = (
+        timeline[-1].mean_ms < skewed[-1].mean_ms)
+    result.notes = (f"at {ths[-1]} threads: strong-uniform "
+                    f"{uniform[-1].mean_ms:.1f} ms, strong-zipf "
+                    f"{skewed[-1].mean_ms:.1f} ms, timeline-zipf "
+                    f"{timeline[-1].mean_ms:.1f} ms")
+    return result
+
+
+#: registry used by the CLI report and the benchmark suite
+ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig8": fig8_read_latency,
+    "fig9": fig9_write_latency,
+    "table1": table1_recovery,
+    "fig11": fig11_scaling,
+    "fig12": fig12_mixed,
+    "fig13": fig13_ssd,
+    "fig14": fig14_conditional_put,
+    "fig15": fig15_weak_writes,
+    "fig16": fig16_memory_log,
+    "ablation-parallel": ablation_parallel_propose,
+    "ablation-groupcommit": ablation_group_commit,
+    "ablation-piggyback": ablation_piggyback_commits,
+    "ablation-skew": ablation_skewed_reads,
+}

@@ -1,0 +1,115 @@
+"""Rendering experiment results as the rows/series the paper reports.
+
+``python -m repro.bench.report [exp ...] [--scale S] [--json FILE]`` runs
+experiments and prints their tables plus shape-check verdicts;
+EXPERIMENTS.md records a full-scale run.  ``--json`` additionally writes
+machine-readable results for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from typing import List
+
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from .harness import LoadPoint
+
+__all__ = ["render", "to_dict", "main"]
+
+
+def to_dict(result: ExperimentResult) -> dict:
+    """A JSON-serializable view of an experiment result."""
+    series = {}
+    for label, data in result.series.items():
+        if data and isinstance(data[0], LoadPoint):
+            series[label] = [dataclasses.asdict(p) for p in data]
+        else:
+            series[label] = list(data)
+    return {
+        "experiment": result.exp_id,
+        "title": result.title,
+        "series": series,
+        "checks": dict(result.checks),
+        "passed": result.passed,
+        "notes": result.notes,
+    }
+
+
+def _render_points(label: str, points: List[LoadPoint]) -> List[str]:
+    lines = [f"  {label}:"]
+    lines.append("    threads   load(req/s)   mean(ms)    p95(ms)   ops")
+    for p in points:
+        lines.append(f"    {p.threads:7d}   {p.throughput:11.0f}   "
+                     f"{p.mean_ms:8.2f}   {p.p95_ms:8.2f}   {p.ops:5d}")
+    return lines
+
+
+def _render_rows(label: str, rows: List[dict]) -> List[str]:
+    lines = [f"  {label}:"]
+    if not rows:
+        return lines
+    keys = list(rows[0].keys())
+    lines.append("    " + "   ".join(f"{k:>16s}" for k in keys))
+    for row in rows:
+        lines.append("    " + "   ".join(
+            f"{row[k]:16.3f}" if isinstance(row[k], float)
+            else f"{row[k]:16}" for k in keys))
+    return lines
+
+
+def render(result: ExperimentResult) -> str:
+    """Human-readable experiment report: series tables + check verdicts."""
+    lines = [f"== {result.exp_id}: {result.title} =="]
+    for label, data in result.series.items():
+        if data and isinstance(data[0], LoadPoint):
+            lines.extend(_render_points(label, data))
+        else:
+            lines.extend(_render_rows(label, data))
+    if result.notes:
+        lines.append(f"  notes: {result.notes}")
+    for check, ok in result.checks.items():
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {check}")
+    lines.append(f"  => {'SHAPE OK' if result.passed else 'SHAPE MISMATCH'}")
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    scale = 1.0
+    json_path = None
+    names: List[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--scale":
+            scale = float(next(it))
+        elif arg == "--json":
+            json_path = next(it)
+        else:
+            names.append(arg)
+    if not names:
+        names = list(ALL_EXPERIMENTS)
+    status = 0
+    collected = []
+    for name in names:
+        fn = ALL_EXPERIMENTS.get(name)
+        if fn is None:
+            print(f"unknown experiment {name!r}; "
+                  f"choices: {', '.join(ALL_EXPERIMENTS)}")
+            return 2
+        result = fn(scale=scale)
+        print(render(result))
+        print()
+        collected.append(to_dict(result))
+        if not result.passed:
+            status = 1
+    if json_path is not None:
+        with open(json_path, "w") as fh:
+            json.dump({"scale": scale, "results": collected}, fh,
+                      indent=2)
+        print(f"wrote {json_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

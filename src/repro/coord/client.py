@@ -1,0 +1,200 @@
+"""Client handle for the coordination service.
+
+Every Spinnaker node embeds one of these (§7.2).  Operations are
+generator functions used with ``yield from`` inside simulation processes::
+
+    path = yield from zk.create("/r/candidates/c", data, ephemeral=True,
+                                sequential=True)
+    kids = yield from zk.get_children("/r/candidates", watcher=on_change)
+
+Watches registered through ``watcher=`` are one-shot callbacks invoked
+with a :class:`~repro.coord.znode.WatchEvent` when the notification
+arrives.  A heartbeat process keeps the session alive; crash the owning
+node (stop heartbeats) and the server expires the session, deleting its
+ephemeral znodes — that is Spinnaker's failure detector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from ..sim.events import Simulator
+from ..sim.network import Endpoint
+from ..sim.process import Process, spawn, timeout
+from .service import SESSION_TIMEOUT_DEFAULT, error_from_code
+from .znode import CoordError, NoNodeError, WatchEvent
+
+__all__ = ["CoordClient", "SessionExpired"]
+
+
+class SessionExpired(CoordError):
+    """The coordination session died; ephemerals are gone."""
+
+    code = "session-expired"
+
+
+class CoordClient:
+    """One node's session with the coordination service."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sim: Simulator, endpoint: Endpoint,
+                 service: str = "coord",
+                 session_timeout: float = SESSION_TIMEOUT_DEFAULT):
+        self.sim = sim
+        self.endpoint = endpoint
+        self.service = service
+        self.session_timeout = session_timeout
+        self.session: Optional[int] = None
+        self._watchers: Dict[int, Callable[[WatchEvent], None]] = {}
+        self._watch_ids = itertools.count(1)
+        self._heartbeater: Optional[Process] = None
+        self._dispatch_installed = False
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """``yield from`` me: opens the session and starts heartbeats."""
+        if self.endpoint._handler is None:
+            # Standalone use (tests, recipes): install a dispatcher that
+            # consumes watch events.  Nodes with their own dispatcher must
+            # route coord messages to handle_watch_message themselves.
+            self.endpoint.on_request(
+                lambda req: self.handle_watch_message(req.payload))
+        reply = yield self.endpoint.request(
+            self.service, {"op": "start-session",
+                           "timeout": self.session_timeout}, size=64)
+        self.session = self._unwrap(reply)
+        self._heartbeater = spawn(
+            self.sim, self._heartbeat_loop(),
+            name=f"hb-{self.endpoint.name}")
+        return self.session
+
+    def stop(self) -> None:
+        """Stop heartbeating (e.g. node crash).  The server will expire
+        the session after the timeout, exactly like a real dead client."""
+        if self._heartbeater is not None and self._heartbeater.is_alive:
+            self._heartbeater.interrupt("stop")
+        self._heartbeater = None
+        self._watchers.clear()
+        self.session = None
+
+    def close(self):
+        """Graceful shutdown: ``yield from`` me; expires the session now."""
+        if self.session is None:
+            return
+        session = self.session
+        self.stop()
+        yield self.endpoint.request(
+            self.service, {"op": "close-session", "session": session},
+            size=64)
+
+    def _heartbeat_loop(self):
+        from ..sim.process import Interrupt
+        interval = self.session_timeout / 3.0
+        try:
+            while True:
+                yield timeout(self.sim, interval)
+                self.endpoint.send(self.service,
+                                   {"op": "heartbeat",
+                                    "session": self.session}, size=48)
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    # Watch plumbing
+    # ------------------------------------------------------------------
+    def handle_watch_message(self, payload: Dict) -> bool:
+        """Feed watch-event messages here from the node's dispatcher.
+
+        Returns True if the message was a watch event (and was consumed).
+        """
+        if payload.get("op") != "watch-event":
+            return False
+        watcher = self._watchers.pop(payload["watch_id"], None)
+        if watcher is not None:
+            watcher(WatchEvent(payload["kind"], payload["path"]))
+        return True
+
+    def _register_watcher(
+            self, watcher: Optional[Callable[[WatchEvent], None]]):
+        if watcher is None:
+            return None
+        watch_id = next(self._watch_ids)
+        self._watchers[watch_id] = watcher
+        return watch_id
+
+    # ------------------------------------------------------------------
+    # Operations (generator functions; use with ``yield from``)
+    # ------------------------------------------------------------------
+    def _call(self, payload: Dict, size: int = 160):
+        payload["session"] = self.session
+        reply = yield self.endpoint.request(self.service, payload, size=size)
+        return self._unwrap(reply)
+
+    @staticmethod
+    def _unwrap(reply: Dict):
+        if reply["ok"]:
+            return reply["value"]
+        raise error_from_code(reply["code"], reply["msg"])
+
+    def create(self, path: str, data: bytes = b"", ephemeral: bool = False,
+               sequential: bool = False):
+        """Create a znode; returns the actual path (sequential suffix)."""
+        return (yield from self._call({
+            "op": "create", "path": path, "data": data,
+            "ephemeral": ephemeral, "sequential": sequential,
+        }, size=160 + len(data)))
+
+    def delete(self, path: str, version: int = -1):
+        return (yield from self._call(
+            {"op": "delete", "path": path, "version": version}))
+
+    def set_data(self, path: str, data: bytes, version: int = -1):
+        return (yield from self._call(
+            {"op": "set", "path": path, "data": data, "version": version},
+            size=160 + len(data)))
+
+    def get(self, path: str, watcher=None):
+        """Returns (data, version); sets a one-shot data watch if given."""
+        return (yield from self._call({
+            "op": "get", "path": path,
+            "watch_id": self._register_watcher(watcher)}))
+
+    def exists(self, path: str, watcher=None):
+        return (yield from self._call({
+            "op": "exists", "path": path,
+            "watch_id": self._register_watcher(watcher)}))
+
+    def get_children(self, path: str, watcher=None):
+        return (yield from self._call({
+            "op": "children", "path": path,
+            "watch_id": self._register_watcher(watcher)}))
+
+    # -- conveniences used by recipes and the election protocol ----------
+    def ensure_path(self, path: str):
+        """Create ``path`` and any missing ancestors (persistent)."""
+        parts = [p for p in path.split("/") if p]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            try:
+                yield from self.create(current)
+            except CoordError as err:
+                if err.code != "node-exists":
+                    raise
+
+    def delete_recursive(self, path: str):
+        """Delete a subtree (used to clean old election state, §7.2)."""
+        try:
+            kids = yield from self.get_children(path)
+        except NoNodeError:
+            return
+        for kid in kids:
+            yield from self.delete_recursive(f"{path}/{kid}")
+        try:
+            yield from self.delete(path)
+        except NoNodeError:
+            pass

@@ -1,0 +1,220 @@
+"""The client API (§3): get / put / delete / conditional variants.
+
+Each call is a single-operation transaction.  ``get`` takes a
+``consistent`` flag choosing strong (leader-routed, always latest) or
+timeline (any replica, possibly stale) consistency.  Version numbers are
+managed by the store and surface through ``get``; ``conditional_put`` and
+``conditional_delete`` succeed only when the supplied version is still
+current, which gives read-modify-write transactions optimistic
+concurrency control::
+
+    c = yield from client.get(key, b"c", consistent=True)
+    yield from client.conditional_put(key, b"c", new_value, c.version)
+    # retry on VersionMismatch
+
+All methods are generator functions for use with ``yield from`` inside
+simulation processes.  Routing: the client caches each cohort's leader
+and follows ``not-leader`` hints; timeline reads pick a random live
+replica.  The coordination service is never on the client's path (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..sim.events import Simulator
+from ..sim.network import Endpoint, Network, RpcTimeout
+from ..sim.process import timeout
+from ..sim.rng import RngRegistry
+from .config import SpinnakerConfig
+from .datamodel import (DatastoreError, GetResult, RequestTimeout,
+                        VersionMismatch)
+from .messages import (ClientGet, ClientMultiWrite, ClientScan,
+                       ClientWrite)
+from .partition import RangePartitioner
+
+__all__ = ["SpinnakerClient"]
+
+
+class SpinnakerClient:
+    """A datastore client bound to one (simulated) client machine."""
+
+    def __init__(self, sim: Simulator, network: Network, name: str,
+                 partitioner: RangePartitioner, config: SpinnakerConfig,
+                 rng: RngRegistry):
+        self.sim = sim
+        self.name = name
+        self.partitioner = partitioner
+        self.config = config
+        self.endpoint: Endpoint = network.endpoint(name)
+        self._rng = rng.stream(f"client:{name}")
+        self._leader_cache: Dict[int, str] = {}
+        self.ops_completed = 0
+        self.retries = 0
+
+    # ------------------------------------------------------------------
+    # Public API (§3)
+    # ------------------------------------------------------------------
+    def get(self, key: bytes, colname: bytes, consistent: bool = True):
+        """Read a column value and its version number."""
+        result = yield from self._get(key, colname, consistent)
+        return result
+
+    def put(self, key: bytes, colname: bytes, value: bytes):
+        """Insert a column value into a row."""
+        msg = ClientWrite(key=key, colname=colname, value=value)
+        return (yield from self._write(key, msg, 96 + len(value)))
+
+    def delete(self, key: bytes, colname: bytes):
+        """Delete a column from a row."""
+        msg = ClientWrite(key=key, colname=colname, value=None,
+                          tombstone=True)
+        return (yield from self._write(key, msg, 96))
+
+    def conditional_put(self, key: bytes, colname: bytes, value: bytes,
+                        version: int):
+        """Insert only if the column's current version equals ``version``;
+        raises :class:`VersionMismatch` otherwise."""
+        msg = ClientWrite(key=key, colname=colname, value=value,
+                          expected_version=version)
+        return (yield from self._write(key, msg, 96 + len(value)))
+
+    def conditional_delete(self, key: bytes, colname: bytes, version: int):
+        msg = ClientWrite(key=key, colname=colname, value=None,
+                          tombstone=True, expected_version=version)
+        return (yield from self._write(key, msg, 96))
+
+    def put_columns(self, key: bytes,
+                    columns: Dict[bytes, bytes]):
+        """Multi-column put: all columns of one row, one transaction."""
+        cols = tuple(sorted(columns.items()))
+        msg = ClientMultiWrite(key=key, columns=cols)
+        size = 96 + sum(len(v) for _c, v in cols)
+        return (yield from self._write(key, msg, size))
+
+    def conditional_put_columns(self, key: bytes,
+                                columns: Dict[bytes, bytes],
+                                versions: Dict[bytes, int]):
+        """Multi-column conditional put (§3): every column's version must
+        match or nothing is written."""
+        cols = tuple(sorted(columns.items()))
+        expected = tuple(versions.get(c) for c, _v in cols)
+        msg = ClientMultiWrite(key=key, columns=cols,
+                               expected_versions=expected)
+        size = 96 + sum(len(v) for _c, v in cols)
+        return (yield from self._write(key, msg, size))
+
+    def scan(self, start_key: bytes, end_key: Optional[bytes] = None,
+             limit: int = 100, consistent: bool = True):
+        """Ordered range read: rows with start_key <= key < end_key, up
+        to ``limit``, as a list of (key, {column: GetResult}).
+
+        Requires a cluster built with order-preserving keys
+        (``SpinnakerConfig.order_preserving_keys``); raises
+        :class:`DatastoreError` otherwise.  Strong scans read each
+        cohort's leader; timeline scans read any replica.
+        """
+        if not self.partitioner.order_preserving:
+            raise DatastoreError(
+                "range scans require order_preserving_keys=True")
+        results = []
+        for cohort in self.partitioner.cohorts_for_range(
+                start_key, end_key or b"\xff\xff\xff\xff\xff"):
+            if len(results) >= limit:
+                break
+            msg = ClientScan(cohort_id=cohort.cohort_id,
+                             start_key=start_key, end_key=end_key,
+                             limit=limit - len(results),
+                             consistent=consistent)
+            target = (self._strong_target(cohort) if consistent
+                      else self._timeline_target(cohort))
+            rows = yield from self._call(cohort, msg, 128, target,
+                                         strong=consistent)
+            for key, columns in rows:
+                results.append((key, {
+                    col: GetResult(value=value, version=version)
+                    for col, (value, version) in columns.items()}))
+        return results
+
+    def get_row(self, key: bytes, colnames, consistent: bool = True):
+        """Convenience: read several columns of one row."""
+        out = {}
+        for colname in colnames:
+            out[colname] = yield from self.get(key, colname, consistent)
+        return out
+
+    # ------------------------------------------------------------------
+    # Routing + retry
+    # ------------------------------------------------------------------
+    def _cohort(self, key: bytes):
+        return self.partitioner.locate(key)
+
+    def _strong_target(self, cohort) -> str:
+        return self._leader_cache.get(cohort.cohort_id, cohort.members[0])
+
+    def _next_target(self, cohort, current: str) -> str:
+        members = list(cohort.members)
+        try:
+            idx = members.index(current)
+        except ValueError:
+            return members[0]
+        return members[(idx + 1) % len(members)]
+
+    def _timeline_target(self, cohort) -> str:
+        return self._rng.choice(cohort.members)
+
+    def _get(self, key: bytes, colname: bytes, consistent: bool):
+        cohort = self._cohort(key)
+        msg = ClientGet(key=key, colname=colname, consistent=consistent)
+        target = (self._strong_target(cohort) if consistent
+                  else self._timeline_target(cohort))
+        result = yield from self._call(cohort, msg, 96, target,
+                                       strong=consistent)
+        return result
+
+    def _write(self, key: bytes, msg, size: int):
+        cohort = self._cohort(key)
+        target = self._strong_target(cohort)
+        result = yield from self._call(cohort, msg, size, target,
+                                       strong=True)
+        return result
+
+    def _call(self, cohort, msg, size: int, target: str, strong: bool):
+        cfg = self.config
+        deadline = self.sim.now + cfg.client_op_timeout
+        attempt = 0
+        while True:
+            remaining = deadline - self.sim.now
+            if remaining <= 0 or attempt > cfg.client_max_retries:
+                raise RequestTimeout(
+                    f"{type(msg).__name__} gave up after {attempt} tries")
+            per_try = min(remaining, 2.0)
+            try:
+                reply = yield self.endpoint.request(target, msg, size=size,
+                                                    timeout=per_try)
+            except RpcTimeout:
+                attempt += 1
+                self.retries += 1
+                target = (self._next_target(cohort, target) if strong
+                          else self._timeline_target(cohort))
+                continue
+            if reply.get("ok"):
+                if strong:
+                    self._leader_cache[cohort.cohort_id] = target
+                self.ops_completed += 1
+                return reply["result"]
+            code = reply.get("code")
+            if code == "version-mismatch":
+                raise VersionMismatch(reply["expected"], reply["actual"])
+            if code in ("not-leader", "unavailable", "wrong-node"):
+                attempt += 1
+                self.retries += 1
+                hint = reply.get("hint")
+                if strong and hint and hint != target:
+                    target = hint
+                    self._leader_cache[cohort.cohort_id] = hint
+                else:
+                    target = self._next_target(cohort, target)
+                yield timeout(self.sim, cfg.client_retry_backoff)
+                continue
+            raise DatastoreError(f"unexpected error {code!r}")

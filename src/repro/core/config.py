@@ -1,0 +1,94 @@
+"""Tunable parameters for a Spinnaker deployment.
+
+The service-time constants are the calibration knobs that map the
+simulated cluster onto the paper's testbed (Appendix C: two quad-core
+2.1 GHz AMD nodes, 1 GbE, dedicated SATA logging disk, Java codebase).
+They are deliberately centralized: every benchmark states which config it
+ran, and the ablation benches flip individual flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.disk import DiskProfile
+
+__all__ = ["SpinnakerConfig"]
+
+
+@dataclass
+class SpinnakerConfig:
+    """All knobs for nodes, the protocol, and the hardware model."""
+
+    # -- replication (§4, §5) -------------------------------------------
+    replication_factor: int = 3
+    #: leader commits after its own force plus this many follower acks
+    acks_needed: int = 1
+    #: interval between asynchronous commit messages (§5; Table 1 sweeps it)
+    commit_period: float = 1.0
+    #: piggyback commit info on propose messages (§D.1 optimization)
+    piggyback_commits: bool = False
+    #: Fig. 4's key overlap: the leader proposes in parallel with its own
+    #: log force.  False serializes them (ablation bench).
+    parallel_force_and_propose: bool = True
+
+    # -- hardware model ----------------------------------------------------
+    cores_per_node: int = 8
+    log_profile: DiskProfile = field(default_factory=DiskProfile.sata_log)
+    group_commit: bool = True
+
+    # -- CPU service times (calibration; see DESIGN.md) -------------------
+    #: per-read CPU+network-stack cost at the serving replica
+    read_service: float = 1.8e-3
+    #: extra cost of a strongly consistent read at the leader
+    #: (leadership check + commit-queue consultation)
+    strong_read_overhead: float = 0.3e-3
+    #: leader-side cost to marshal a write + run the protocol
+    write_leader_service: float = 0.45e-3
+    #: follower-side cost to process a propose
+    write_follower_service: float = 0.3e-3
+    #: extra leader cost of a conditional put's read + version compare
+    conditional_check_service: float = 0.9e-3
+    #: applying one committed record to the memtable
+    commit_apply_service: float = 20e-6
+    #: replaying one record during local recovery
+    recovery_replay_service: float = 15e-6
+    #: leader-side cost to process a catch-up / re-propose round
+    takeover_record_service: float = 1.4e-3
+    #: per-row cost of an ordered range scan
+    scan_row_service: float = 40e-6
+
+    # -- data model ----------------------------------------------------
+    #: map row keys to the keyspace preserving byte order (enables range
+    #: scans; hashing spreads load better and is the default)
+    order_preserving_keys: bool = False
+
+    # -- storage ----------------------------------------------------------
+    flush_threshold_bytes: int = 64 * 1024 * 1024
+    #: roll over (GC) log records this many bytes after they are
+    #: captured in SSTables; 0 disables automatic rollover
+    log_gc_after_flush: bool = True
+
+    # -- coordination (§4.2, §7) --------------------------------------------
+    session_timeout: float = 2.0
+    election_retry: float = 0.5
+    catchup_rpc_timeout: float = 5.0
+    takeover_state_timeout: float = 1.0
+
+    # -- client ---------------------------------------------------------
+    client_op_timeout: float = 10.0
+    client_max_retries: int = 8
+    client_retry_backoff: float = 0.02
+
+    def validate(self) -> "SpinnakerConfig":
+        if self.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        if not 0 < self.acks_needed < self.replication_factor + 1:
+            raise ValueError("acks_needed out of range")
+        if self.commit_period <= 0:
+            raise ValueError("commit_period must be positive")
+        return self
+
+    @property
+    def majority(self) -> int:
+        return self.replication_factor // 2 + 1

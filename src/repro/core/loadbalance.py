@@ -1,0 +1,129 @@
+"""Online leadership rebalancing — the §10 future-work item.
+
+All writes (and strong reads) for a cohort hit its leader (§8.3), so
+leader *placement* is Spinnaker's load-balancing lever.  After failures,
+leadership drifts: the node that takes over a dead peer's cohort ends up
+leading two ranges while the revived peer leads none.  This module adds:
+
+* :func:`transfer_leadership` — a graceful, zero-loss handoff protocol:
+  the leader drains its commit queue with writes momentarily blocked,
+  verifies the successor holds every committed write, then names the
+  successor in the cohort's ``leader`` znode.  The successor re-owns the
+  znode under its own session, bumps the epoch and runs the normal
+  takeover (trivial: nothing is unresolved), so the safety argument is
+  exactly the election's.
+* :func:`plan_rebalance` — a pure planner that proposes transfers to
+  even out per-node leader counts, preferring each cohort's base-range
+  owner (Fig. 2 placement).
+
+Interrupted handoffs degrade to ordinary failure handling: if either
+node dies mid-transfer the leader znode disappears with its session and
+a regular election picks the max-n.lst survivor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..coord.znode import CoordError
+from ..sim.network import RpcTimeout
+from ..sim.process import timeout
+from .election import cohort_zk_path
+from .messages import TakeoverState
+from .recovery import build_catchup_reply
+
+__all__ = ["transfer_leadership", "plan_rebalance"]
+
+
+def transfer_leadership(replica, successor: str):
+    """Hand this cohort's leadership to ``successor``; ``yield from`` me.
+
+    Returns True on success.  Returns False (leaving the current leader
+    in place) if the replica is not an open leader, the successor is not
+    a cohort peer, or the successor cannot be verified caught-up.
+    """
+    node, cfg = replica.node, replica.node.config
+    if not replica.is_leader or not replica.open_for_writes:
+        return False
+    if successor not in replica.peers():
+        return False
+    zk = node.zk
+    root = cohort_zk_path(replica.cohort_id)
+    replica.block_writes()
+    try:
+        # 1. Drain: every accepted write must commit before we hand off.
+        while len(replica.queue) > 0:
+            yield timeout(node.sim, 0.002)
+            if not replica.is_leader:
+                return False
+        # 2. Verify the successor is caught up to l.cmt; top it up if not.
+        try:
+            state = yield node.endpoint.request(
+                successor,
+                TakeoverState(cohort_id=replica.cohort_id,
+                              epoch=replica.epoch),
+                size=64, timeout=cfg.takeover_state_timeout)
+        except RpcTimeout:
+            return False
+        if not isinstance(state, dict) or "cmt" not in state:
+            return False
+        if state["cmt"] < replica.committed_lsn:
+            reply = build_catchup_reply(replica, state["cmt"])
+            try:
+                done = yield node.endpoint.request(
+                    successor, reply,
+                    size=sum(r.encoded_size() for r in reply.records) + 128,
+                    timeout=cfg.catchup_rpc_timeout)
+            except RpcTimeout:
+                return False
+            if done != "caught-up":
+                return False
+        # 3. Name the successor.  From here on we bounce writes with the
+        #    new hint; the successor's monitor sees the change and runs
+        #    the takeover path under a fresh epoch.
+        try:
+            yield from zk.set_data(f"{root}/leader", successor.encode())
+        except CoordError:
+            return False
+        replica.open_for_writes = False
+        replica.set_leader(successor)
+        node.trace("replication", "leadership transferred",
+                   cohort=replica.cohort_id, to=successor)
+        return True
+    finally:
+        replica.unblock_writes()
+
+
+def plan_rebalance(partitioner, leaders: Dict[int, Optional[str]],
+                   max_leaders_per_node: Optional[int] = None
+                   ) -> List[Tuple[int, str, str]]:
+    """Plan transfers to even out leadership.
+
+    ``leaders`` maps cohort id → current leader (None entries are
+    skipped: an election is already pending there).  Returns a list of
+    ``(cohort_id, from_node, to_node)`` moves.  The target ceiling
+    defaults to ⌈cohorts / nodes⌉ (one, for the standard layout).
+    """
+    nodes = list(partitioner.nodes)
+    if max_leaders_per_node is None:
+        max_leaders_per_node = -(-len(partitioner.cohorts) // len(nodes))
+    counts = {name: 0 for name in nodes}
+    for leader in leaders.values():
+        if leader is not None:
+            counts[leader] += 1
+    moves: List[Tuple[int, str, str]] = []
+    # Prefer giving each cohort back to its base-range owner (Fig. 2).
+    for cohort in partitioner.cohorts:
+        leader = leaders.get(cohort.cohort_id)
+        if leader is None or counts[leader] <= max_leaders_per_node:
+            continue
+        candidates = [m for m in cohort.members if m != leader]
+        candidates.sort(key=lambda m: (counts[m],
+                                       cohort.members.index(m)))
+        target = candidates[0]
+        if counts[target] >= max_leaders_per_node:
+            continue
+        moves.append((cohort.cohort_id, leader, target))
+        counts[leader] -= 1
+        counts[target] += 1
+    return moves

@@ -1,0 +1,206 @@
+"""Protocol messages exchanged between clients and Spinnaker nodes.
+
+Client-facing messages (``ClientGet``/``ClientWrite``) and the replication
+protocol messages of Fig. 4 (``Propose``/``Ack``/``Commit``) plus the
+recovery traffic of §6 (``CatchupRequest``/``CatchupReply``).  All are
+plain frozen dataclasses; the network layer delivers object references,
+so immutability matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..storage.lsn import LSN
+from ..storage.records import WriteRecord
+
+__all__ = [
+    "ClientGet", "ClientScan", "ClientWrite", "ClientMultiWrite",
+    "ClientTransaction", "TxnOp",
+    "Propose", "Ack", "Commit",
+    "CatchupRequest", "CatchupReply", "CatchupFinal", "TakeoverState",
+    "SSTableShipment",
+    "WhoIsLeader",
+]
+
+
+# ---------------------------------------------------------------------------
+# Client operations
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ClientGet:
+    key: bytes
+    colname: bytes
+    consistent: bool          # §3: strong (True) vs timeline (False)
+
+
+@dataclass(frozen=True)
+class ClientScan:
+    """Ordered range read over one cohort's key range (extension; needs
+    order-preserving keys).  The client splits a multi-cohort scan into
+    one of these per cohort, in key order."""
+
+    cohort_id: int
+    start_key: bytes
+    end_key: Optional[bytes]   # exclusive; None = end of cohort range
+    limit: int
+    consistent: bool
+
+
+@dataclass(frozen=True)
+class ClientWrite:
+    """put / delete / conditionalPut / conditionalDelete (§3, §5.1).
+
+    ``expected_version`` is None for unconditional writes; ``tombstone``
+    selects delete.
+    """
+
+    key: bytes
+    colname: bytes
+    value: Optional[bytes]
+    tombstone: bool = False
+    expected_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClientMultiWrite:
+    """Multi-column variant (§3): all columns of one row, one transaction.
+
+    ``expected_versions`` (parallel to ``columns``) is used by the
+    multi-column conditional put; None entries are unconditional.
+    """
+
+    key: bytes
+    columns: Tuple[Tuple[bytes, Optional[bytes]], ...]  # (col, value)
+    tombstone: bool = False
+    expected_versions: Optional[Tuple[Optional[int], ...]] = None
+
+
+@dataclass(frozen=True)
+class TxnOp:
+    """One operation inside a multi-operation transaction (§8.2)."""
+
+    key: bytes
+    colname: bytes
+    value: Optional[bytes]
+    tombstone: bool = False
+    expected_version: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ClientTransaction:
+    """§8.2 extension: several writes, possibly to different rows of the
+    same cohort, committed atomically.  The transaction's log records are
+    forced as one batch and replicated with one propose, so recovery can
+    never surface a prefix of the transaction."""
+
+    ops: Tuple[TxnOp, ...]
+
+    @property
+    def key(self) -> bytes:
+        """Routing key (all ops must live in the same cohort)."""
+        return self.ops[0].key
+
+
+@dataclass(frozen=True)
+class WhoIsLeader:
+    """Routing helper: ask any cohort member who it thinks leads."""
+
+    cohort_id: int
+
+
+# ---------------------------------------------------------------------------
+# Replication (Fig. 4)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Propose:
+    cohort_id: int
+    epoch: int
+    records: Tuple[WriteRecord, ...]    # group of writes (multi-op batch)
+    #: commit-info piggybacking (§D.1 optimization, off by default)
+    committed_lsn: Optional[LSN] = None
+
+
+@dataclass(frozen=True)
+class Ack:
+    cohort_id: int
+    epoch: int
+    lsn: LSN          # highest LSN of the proposed batch, now durable
+    sender: str = ""  # acking follower (acks are cumulative per sender)
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Asynchronous commit message: apply pending writes up to ``lsn``."""
+
+    cohort_id: int
+    epoch: int
+    lsn: LSN
+
+
+# ---------------------------------------------------------------------------
+# Recovery (§6)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CatchupRequest:
+    """Follower → leader: "my last committed LSN is f.cmt" (§6.1);
+    also sent leader → follower during takeover (Fig. 6, line 4) with
+    ``from_takeover`` set, asking the follower to advertise its f.cmt."""
+
+    cohort_id: int
+    follower: str
+    follower_cmt: LSN
+
+
+@dataclass(frozen=True)
+class CatchupReply:
+    """Leader → follower: committed writes after f.cmt.
+
+    ``valid_lsns`` lists every live LSN in (f.cmt, l.lst] in the leader's
+    log: any record the follower holds in that interval that is *not*
+    listed was discarded by a leader change and must be logically
+    truncated into the skipped-LSN list (§6.1.1).  ``sstables`` carries
+    shipped tables when the leader's log rolled over (§6.1).
+    """
+
+    cohort_id: int
+    epoch: int
+    committed_lsn: LSN
+    leader_lst: LSN
+    records: Tuple[WriteRecord, ...]
+    valid_lsns: Tuple[LSN, ...]
+    #: ``valid_lsns`` covers only (valid_after, leader_lst]: when the
+    #: leader's log rolled over, records at or below this horizon are
+    #: covered by the shipped SSTables and must NOT be truncated just
+    #: because they are absent from ``valid_lsns``.
+    valid_after: LSN = LSN.zero()
+    sstables: Tuple = ()
+
+
+@dataclass(frozen=True)
+class CatchupFinal:
+    """Follower → leader, second catch-up phase: "I am caught up to
+    ``follower_cmt``; block writes momentarily and hand me the final
+    delta plus your pending (uncommitted) writes" (§6.1)."""
+
+    cohort_id: int
+    follower: str
+    follower_cmt: LSN
+
+
+@dataclass(frozen=True)
+class TakeoverState:
+    """New leader → follower (Fig. 6, line 4): report your f.cmt."""
+
+    cohort_id: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class SSTableShipment:
+    cohort_id: int
+    tables: Tuple

@@ -1,0 +1,331 @@
+"""A Spinnaker node (§4.1, Fig. 3).
+
+Each node hosts, for every cohort it belongs to (three, with default
+placement): a storage engine (memtables + SSTables), a commit queue, and
+the replication / leader-election / recovery state machines.  All cohorts
+share one write-ahead log on a dedicated logging device, one CPU pool,
+one network endpoint, and one coordination-service session (whose expiry
+is how the rest of the cluster learns this node died).
+
+Crash semantics: ``crash()`` kills every in-flight handler process, drops
+the volatile log tail and memtables, and takes the endpoint and log
+device offline.  ``restart()`` boots a fresh incarnation that runs local
+recovery and rejoins its cohorts through the §6 protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..coord.client import CoordClient
+from ..coord.recipes import GroupMembership
+from ..sim.disk import LogDevice
+from ..sim.events import Simulator
+from ..sim.network import Network, Request
+from ..sim.process import Process, ProcessKilled, spawn
+from ..sim.resources import Resource, serve
+from ..sim.rng import RngRegistry
+from ..storage.engine import StorageEngine
+from ..storage.lsn import LSN
+from ..storage.records import CheckpointRecord
+from ..storage.wal import SharedLog
+from .config import SpinnakerConfig
+from .election import leader_monitor
+from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
+                       ClientGet, ClientMultiWrite, ClientScan,
+                       ClientTransaction, ClientWrite, Commit, Propose,
+                       TakeoverState, WhoIsLeader)
+from .partition import RangePartitioner
+from .recovery import build_catchup_reply, ingest_catchup, local_recovery
+from .replication import CohortReplica, Role
+
+__all__ = ["SpinnakerNode"]
+
+
+class SpinnakerNode:
+    """One server in the cluster."""
+
+    def __init__(self, sim: Simulator, network: Network, rng: RngRegistry,
+                 name: str, partitioner: RangePartitioner,
+                 config: SpinnakerConfig, coord_name: str = "coord",
+                 tracer=None):
+        from ..sim.tracing import NullTracer
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.partitioner = partitioner
+        self.config = config
+        self.coord_name = coord_name
+        self.endpoint = network.endpoint(name)
+        self.endpoint.on_request(self._dispatch)
+        self.cpu = Resource(sim, capacity=config.cores_per_node)
+        self.rng_stream = rng.stream(f"node:{name}")
+        self.device = LogDevice(sim, rng, f"{name}-log",
+                                profile=config.log_profile,
+                                group_commit=config.group_commit)
+        self.wal = SharedLog(self.device)
+        self.replicas: Dict[int, CohortReplica] = {
+            cohort.cohort_id: CohortReplica(self, cohort)
+            for cohort in partitioner.cohorts_of_node(name)
+        }
+        self.zk: Optional[CoordClient] = None
+        self.membership: Optional[GroupMembership] = None
+        self.alive = False
+        self.incarnation = 0
+        self._procs: set = set()
+        #: failures of handler processes that were NOT deliberate kills —
+        #: tests assert this stays empty (protocol bugs surface here)
+        self.failures: List[BaseException] = []
+
+    # ------------------------------------------------------------------
+    # Process supervision
+    # ------------------------------------------------------------------
+    def spawn(self, gen, name: str = "") -> Process:
+        """Start a handler process tracked for crash-time termination."""
+        proc = spawn(self.sim, gen, name=f"{self.name}:{name}")
+        self._procs.add(proc)
+
+        def _done(ev):
+            self._procs.discard(proc)
+            if not ev._ok:
+                ev.defuse()
+                if not isinstance(ev._value, ProcessKilled):
+                    self.failures.append(ev._value)
+
+        proc.add_callback(_done)
+        return proc
+
+    def trace(self, category: str, message: str, **fields) -> None:
+        """Emit a protocol trace event attributed to this node."""
+        self.tracer.emit(category, self.name, message, **fields)
+
+    def charge_background(self, cpu_time: float) -> None:
+        """Charge asynchronous CPU work (memtable applies etc.)."""
+        if cpu_time <= 0:
+            return
+
+        def _work():
+            yield from serve(self.cpu, cpu_time)
+
+        self.spawn(_work(), "bg")
+
+    # ------------------------------------------------------------------
+    # Engines & helpers
+    # ------------------------------------------------------------------
+    def make_engine(self, cohort_id: int) -> StorageEngine:
+        return StorageEngine(
+            cohort_id, flush_threshold_bytes=self.config.
+            flush_threshold_bytes)
+
+    def n_lst(self, cohort_id: int) -> LSN:
+        """The node's 'last LSN' advertised in elections.  When the log
+        rolled over (or the node caught up via shipped SSTables) the
+        checkpoint dominates the log tail."""
+        replica = self.replicas[cohort_id]
+        return max(self.wal.last_lsn(cohort_id),
+                   replica.engine.checkpoint_lsn)
+
+    def replica_for_key(self, key: bytes) -> Optional[CohortReplica]:
+        cohort = self.partitioner.locate(key)
+        return self.replicas.get(cohort.cohort_id)
+
+    def maybe_flush(self, replica: CohortReplica) -> None:
+        """Flush the replica's memtable once it crosses the threshold;
+        checkpoint durably, then roll over the covered log records."""
+        engine = replica.engine
+        if not engine.needs_flush() or getattr(replica, "_flushing", False):
+            return
+        replica._flushing = True
+
+        def _flush():
+            try:
+                ckpt = engine.flush()
+                if ckpt is None:
+                    return
+                ev = self.wal.append(CheckpointRecord(
+                    lsn=ckpt, cohort_id=replica.cohort_id,
+                    checkpoint_lsn=ckpt), force=True)
+                if ev is not None:
+                    yield ev
+                if self.config.log_gc_after_flush:
+                    dropped = self.wal.gc_through(replica.cohort_id, ckpt)
+                else:
+                    dropped = 0
+                self.trace("storage", "flush",
+                           cohort=replica.cohort_id,
+                           checkpoint=str(ckpt), log_records_gcd=dropped)
+            finally:
+                replica._flushing = False
+
+        self.spawn(_flush(), f"flush-{replica.cohort_id}")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        """Start (or restart) the node; returns immediately, recovery
+        runs as a process."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+        self.trace("node", "boot", incarnation=self.incarnation)
+        self.endpoint.restart()
+        self.device.restart()
+        self.zk = CoordClient(self.sim, self.endpoint,
+                              service=self.coord_name,
+                              session_timeout=self.config.session_timeout)
+        self.spawn(self._startup(), "startup")
+
+    def _startup(self):
+        yield from self.zk.start()
+        # Local recovery (§6.1 phase 1): all cohorts share one log scan in
+        # the real system; we recover them in turn, charging the same CPU.
+        for replica in self.replicas.values():
+            replica.prepare_restart()
+            yield from local_recovery(replica)
+        self.membership = GroupMembership(self.zk, "/nodes", self.name)
+        yield from self.membership.join()
+        for replica in self.replicas.values():
+            self.spawn(leader_monitor(replica),
+                       f"monitor-{replica.cohort_id}")
+
+    def crash(self) -> None:
+        """Fail-stop: lose volatile state, leave the network."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.trace("node", "crash")
+        for proc in list(self._procs):
+            proc.interrupt("crash")
+        self._procs.clear()
+        if self.zk is not None:
+            self.zk.stop()
+            self.zk = None
+        self.membership = None
+        self.endpoint.crash()
+        self.device.crash()
+        self.wal.crash()
+        for replica in self.replicas.values():
+            replica.crash()
+
+    def restart(self) -> None:
+        self.boot()
+
+    def lose_disk(self) -> None:
+        """Media failure: wipe log and SSTables, then restart from
+        nothing — recovery goes straight to catch-up (§6.1)."""
+        self.crash()
+        self.trace("node", "disk-loss")
+        self.wal.wipe()
+        for replica in self.replicas.values():
+            replica.engine.wipe()
+        self.boot()
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, req: Request) -> None:
+        payload = req.payload
+        if isinstance(payload, dict) and payload.get("op") == "watch-event":
+            if self.zk is not None:
+                self.zk.handle_watch_message(payload)
+            return
+        if isinstance(payload, (ClientGet, ClientWrite, ClientMultiWrite,
+                                ClientTransaction)):
+            replica = self.replica_for_key(payload.key)
+            if replica is None:
+                req.respond({"ok": False, "code": "wrong-node"})
+                return
+            if isinstance(payload, ClientGet):
+                self.spawn(replica.handle_get(req), "get")
+            elif isinstance(payload, ClientTransaction):
+                self.spawn(replica.handle_client_txn(req), "txn")
+            else:
+                self.spawn(replica.handle_client_write(req), "write")
+            return
+        replica = self.replicas.get(getattr(payload, "cohort_id", -1))
+        if replica is None:
+            if isinstance(payload, ClientScan):
+                req.respond({"ok": False, "code": "wrong-node"})
+            return
+        if isinstance(payload, ClientScan):
+            self.spawn(replica.handle_scan(req), "scan")
+        elif isinstance(payload, Propose):
+            self.spawn(replica.handle_propose(req), "propose")
+        elif isinstance(payload, Commit):
+            replica.handle_commit(req.src, payload)
+        elif isinstance(payload, Ack):
+            # One-way ack (sent during follower-driven catch-up).
+            replica.queue.add_ack_upto(payload.lsn, payload.sender)
+            replica._advance()
+        elif isinstance(payload, CatchupRequest):
+            self.spawn(self._handle_catchup_request(req, replica),
+                       "catchup-req")
+        elif isinstance(payload, CatchupFinal):
+            self.spawn(self._handle_catchup_final(req, replica),
+                       "catchup-final")
+        elif isinstance(payload, CatchupReply):
+            # Takeover-driven catch-up: the new leader pushes state.
+            self.spawn(self._handle_takeover_catchup(req, replica),
+                       "takeover-catchup")
+        elif isinstance(payload, TakeoverState):
+            if payload.epoch >= replica.epoch:
+                replica.epoch = payload.epoch
+            req.respond({"cmt": replica.committed_lsn}, size=64)
+        elif isinstance(payload, WhoIsLeader):
+            req.respond({"leader": replica.leader}, size=64)
+
+    # ------------------------------------------------------------------
+    # Leader-side catch-up handlers (§6.1)
+    # ------------------------------------------------------------------
+    def _handle_catchup_request(self, req: Request, replica: CohortReplica):
+        if not replica.is_leader:
+            req.respond({"ok": False, "code": "not-leader",
+                         "hint": replica.leader})
+            return
+        yield from serve(self.cpu, self.config.takeover_record_service)
+        if not replica.is_leader:
+            req.respond({"ok": False, "code": "not-leader",
+                         "hint": replica.leader})
+            return
+        reply = build_catchup_reply(replica, req.payload.follower_cmt)
+        size = sum(r.encoded_size() for r in reply.records) + 128
+        size += sum(t.bytes_size for t in reply.sstables)
+        req.respond(reply, size=size)
+
+    def _handle_catchup_final(self, req: Request, replica: CohortReplica):
+        """Phase B: momentarily block writes so the follower ends fully
+        caught up (§6.1), and hand over pending writes for acking."""
+        if not replica.is_leader:
+            req.respond({"ok": False, "code": "not-leader",
+                         "hint": replica.leader})
+            return
+        replica.block_writes()
+        try:
+            yield from serve(self.cpu, self.config.takeover_record_service)
+            reply = build_catchup_reply(replica, req.payload.follower_cmt)
+            pending = tuple(replica.queue.pending_records())
+            size = (sum(r.encoded_size() for r in reply.records)
+                    + sum(r.encoded_size() for r in pending) + 128)
+            req.respond({"reply": reply, "pending": pending}, size=size)
+        finally:
+            replica.unblock_writes()
+
+    def _handle_takeover_catchup(self, req: Request,
+                                 replica: CohortReplica):
+        reply: CatchupReply = req.payload
+        if reply.epoch < replica.epoch:
+            req.respond("stale", size=32)
+            return
+        yield from ingest_catchup(replica, reply)
+        if replica.role in (Role.RECOVERING, Role.CANDIDATE):
+            replica.role = Role.FOLLOWER
+        replica.set_leader(req.src)
+        req.respond("caught-up", size=32)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        roles = {cid: r.role for cid, r in self.replicas.items()}
+        return f"SpinnakerNode({self.name}, alive={self.alive}, {roles})"

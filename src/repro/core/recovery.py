@@ -1,0 +1,282 @@
+"""Recovery: local replay, follower catch-up, and leader takeover (§6).
+
+Three flows live here, all expressed as process generators over a
+:class:`~repro.core.replication.CohortReplica`:
+
+* :func:`local_recovery` — after a restart, re-apply log records from the
+  checkpoint through f.cmt (idempotently, honouring the skipped-LSN
+  list).  Writes after f.cmt are ambiguous and are left to catch-up.
+* :func:`follower_catchup` — the §6.1 catch-up phase, follower-driven:
+  advertise f.cmt, ingest committed writes (or shipped SSTables when the
+  leader's log rolled over), logically truncate discarded records, then a
+  final exchange during which the leader momentarily blocks new writes so
+  the follower ends fully caught up.
+* :func:`leader_takeover` — Fig. 6: catch both followers up to l.cmt,
+  wait for a quorum, re-propose the unresolved writes in (l.cmt, l.lst]
+  through the normal protocol, and open the cohort for writes with LSNs
+  above anything previously used (the epoch was bumped by the election).
+"""
+
+from __future__ import annotations
+
+from ..sim.events import Event, SimulationError
+from ..sim.network import RpcTimeout
+from ..sim.process import all_of, quorum, spawn, timeout
+from ..sim.resources import serve
+from ..storage.lsn import LSN
+from ..storage.records import CommitMarker
+from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
+                       Propose, TakeoverState)
+from .replication import Role
+
+__all__ = ["local_recovery", "follower_catchup", "leader_takeover",
+           "build_catchup_reply", "ingest_catchup"]
+
+
+# ---------------------------------------------------------------------------
+# Local recovery (§6.1, phase 1)
+# ---------------------------------------------------------------------------
+
+def local_recovery(replica):
+    """Re-apply checkpoint..f.cmt from the local log.  ``yield from`` me."""
+    node = replica.node
+    wal = node.wal
+    cohort_id = replica.cohort_id
+    f_cmt = wal.last_committed_lsn(cohort_id)
+    start = replica.engine.checkpoint_lsn
+    records = wal.write_records(cohort_id, after=start, upto=f_cmt)
+    for i, record in enumerate(records):
+        replica.engine.apply(record)   # idempotent (LSN-ordered cells)
+        if i % 64 == 63:               # charge CPU in batches
+            yield from serve(node.cpu,
+                             64 * node.config.recovery_replay_service)
+    node.trace("catchup", "local recovery",
+               cohort=cohort_id, replayed=len(records),
+               f_cmt=str(f_cmt))
+    replica.committed_lsn = f_cmt
+    last = wal.last_lsn(cohort_id)
+    replica.next_seq = max(replica.next_seq, last.seq + 1)
+    # The log tells us which epochs this cohort has seen; elections use
+    # this to pick a fresh epoch even after a full-cluster restart.
+    replica.epoch = max(replica.epoch, last.epoch)
+    return len(records)
+
+
+# ---------------------------------------------------------------------------
+# Catch-up payloads (shared by follower-driven catch-up and takeover)
+# ---------------------------------------------------------------------------
+
+def build_catchup_reply(leader_replica, follower_cmt: LSN) -> CatchupReply:
+    """Assemble the leader's answer to "my last committed LSN is f.cmt"."""
+    node = leader_replica.node
+    cohort_id = leader_replica.cohort_id
+    wal = node.wal
+    l_cmt = leader_replica.committed_lsn
+    l_lst = wal.last_lsn(cohort_id)
+    sstables = ()
+    valid_after = follower_cmt
+    if not wal.can_serve_after(cohort_id, follower_cmt):
+        # The log rolled past f.cmt: ship SSTables for the gap (§6.1).
+        # Log records (and hence valid_lsns) then only cover the range
+        # the leader's log retains.
+        sstables = tuple(
+            leader_replica.engine.sstables_with_writes_after(follower_cmt))
+        valid_after = max(follower_cmt,
+                          leader_replica.engine.checkpoint_lsn)
+    records = tuple(wal.write_records(cohort_id, after=follower_cmt,
+                                      upto=l_cmt))
+    valid = tuple(r.lsn for r in wal.write_records(cohort_id,
+                                                   after=follower_cmt))
+    return CatchupReply(cohort_id=cohort_id, epoch=leader_replica.epoch,
+                        committed_lsn=l_cmt, leader_lst=l_lst,
+                        records=records, valid_lsns=valid,
+                        valid_after=valid_after, sstables=sstables)
+
+
+def ingest_catchup(replica, reply: CatchupReply):
+    """Apply a catch-up payload at the follower.  ``yield from`` me.
+
+    Ingests shipped SSTables, logically truncates local records the
+    leader does not have (skipped-LSN list, §6.1.1), appends + forces
+    missing committed records, applies them, and advances f.cmt.
+    """
+    node = replica.node
+    wal = node.wal
+    cohort_id = replica.cohort_id
+    if reply.epoch > replica.epoch:
+        replica.epoch = reply.epoch
+    # 1. Logical truncation: records we hold above f.cmt that the leader
+    #    does not list were discarded by a leader change.  Records at or
+    #    below valid_after are covered by shipped SSTables, not by
+    #    valid_lsns — never truncate those.
+    valid = set(reply.valid_lsns)
+    floor = max(replica.committed_lsn, reply.valid_after)
+    mine = wal.write_records(cohort_id, after=floor)
+    to_skip = [r.lsn for r in mine if r.lsn not in valid]
+    if to_skip:
+        wal.add_skipped(cohort_id, to_skip)
+        for lsn in to_skip:
+            replica.queue.drop(lsn)
+    # 2. SSTables shipped because the leader's log rolled over.
+    for table in reply.sstables:
+        replica.engine.ingest_sstable(table)
+    # 3. Missing committed records: append + force, then apply in order.
+    forces = []
+    for record in reply.records:
+        if not wal.contains(cohort_id, record.lsn):
+            forces.append(wal.append(record, force=True))
+    if forces:
+        yield all_of(node.sim, forces)
+    for record in reply.records:
+        replica.engine.apply(record)
+        replica.queue.drop(record.lsn)
+    new_cmt = max(replica.committed_lsn, reply.committed_lsn)
+    if reply.sstables:
+        new_cmt = max(new_cmt, max(t.max_lsn for t in reply.sstables))
+    if new_cmt > replica.committed_lsn:
+        replica.committed_lsn = new_cmt
+        wal.append(CommitMarker(lsn=new_cmt, cohort_id=cohort_id,
+                                committed_lsn=new_cmt), force=False)
+    replica.next_seq = max(replica.next_seq,
+                           wal.last_lsn(cohort_id).seq + 1)
+    node.trace("catchup", "ingested",
+               cohort=cohort_id, records=len(reply.records),
+               sstables=len(reply.sstables), truncated=len(to_skip),
+               new_cmt=str(replica.committed_lsn))
+
+
+# ---------------------------------------------------------------------------
+# Follower-driven catch-up (§6.1, phase 2)
+# ---------------------------------------------------------------------------
+
+def follower_catchup(replica):
+    """Catch up from the current leader; ``yield from`` me.
+
+    Returns True on success (replica is now an active follower), False
+    if the leader was unreachable or stepped down (caller retries after
+    re-resolving leadership).
+    """
+    node, cfg = replica.node, replica.node.config
+    leader = replica.leader
+    if leader is None or leader == node.name:
+        return False
+    # Phase A: bulk catch-up, leader unblocked.
+    try:
+        reply = yield node.endpoint.request(
+            leader, CatchupRequest(cohort_id=replica.cohort_id,
+                                   follower=node.name,
+                                   follower_cmt=replica.committed_lsn),
+            size=96, timeout=cfg.catchup_rpc_timeout)
+    except RpcTimeout:
+        return False
+    if not isinstance(reply, CatchupReply):
+        return False
+    yield from ingest_catchup(replica, reply)
+    # Phase B: final delta with the leader's writes momentarily blocked,
+    # plus the leader's pending writes, which we adopt and ack.
+    try:
+        final = yield node.endpoint.request(
+            leader, CatchupFinal(cohort_id=replica.cohort_id,
+                                 follower=node.name,
+                                 follower_cmt=replica.committed_lsn),
+            size=96, timeout=cfg.catchup_rpc_timeout)
+    except RpcTimeout:
+        return False
+    if not isinstance(final, dict) or "reply" not in final:
+        return False
+    yield from ingest_catchup(replica, final["reply"])
+    pending = final["pending"]
+    if pending:
+        forces = []
+        for record in pending:
+            if not node.wal.contains(replica.cohort_id, record.lsn):
+                forces.append(node.wal.append(record, force=True))
+            replica.queue.add(record)
+        if forces:
+            yield all_of(node.sim, forces)
+        top = max(r.lsn for r in pending)
+        node.endpoint.send(leader, Ack(cohort_id=replica.cohort_id,
+                                       epoch=replica.epoch, lsn=top,
+                                       sender=node.name), size=48)
+    replica.role = Role.FOLLOWER
+    replica.set_leader(leader)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Leader takeover (§6.2, Fig. 6)
+# ---------------------------------------------------------------------------
+
+def leader_takeover(replica):
+    """Run takeover after winning an election; ``yield from`` me.
+
+    The election already bumped the epoch (stored in the coordination
+    service) and set ``replica.epoch``; LSNs issued after takeover are
+    therefore greater than anything previously used in the cohort.
+    """
+    node, cfg = replica.node, replica.node.config
+    sim = node.sim
+    replica.role = Role.LEADER
+    replica.leader = node.name
+    replica.open_for_writes = False
+    cohort_id = replica.cohort_id
+    l_cmt = replica.committed_lsn
+    l_lst = node.wal.last_lsn(cohort_id)
+
+    # Lines 3-7: catch each follower up to l.cmt.
+    def catch_one(peer: str):
+        state = yield node.endpoint.request(
+            peer, TakeoverState(cohort_id=cohort_id, epoch=replica.epoch),
+            size=64, timeout=cfg.takeover_state_timeout)
+        if not isinstance(state, dict) or "cmt" not in state:
+            raise SimulationError(f"{peer} gave no takeover state")
+        reply = build_catchup_reply(replica, state["cmt"])
+        done = yield node.endpoint.request(
+            peer, reply,
+            size=sum(r.encoded_size() for r in reply.records) + 128,
+            timeout=cfg.catchup_rpc_timeout)
+        if done != "caught-up":
+            raise SimulationError(f"{peer} failed catch-up")
+        return peer
+
+    # Line 8: wait until at least one follower is caught up to l.cmt.
+    # Retry until a quorum exists — with both followers down the cohort
+    # must stay unavailable (§8.1), and a returning follower may also
+    # catch itself up and unblock us through the normal ack path.
+    caught = None
+    while caught is None:
+        attempts = [spawn(sim, catch_one(peer), name=f"takeover-{peer}")
+                    for peer in replica.peers()]
+        try:
+            caught = yield quorum(sim, attempts, need=1)
+        except SimulationError:
+            yield timeout(sim, cfg.election_retry)
+
+    # Line 9: re-propose writes in (l.cmt, l.lst], one at a time, through
+    # the normal replication protocol.  Sequential per-record resolution
+    # is what makes recovery time proportional to the commit period
+    # (Table 1).
+    unresolved = node.wal.write_records(cohort_id, after=l_cmt, upto=l_lst)
+    for record in unresolved:
+        yield from serve(node.cpu, cfg.takeover_record_service)
+        self_done = Event(sim)
+        replica.queue.add(record,
+                          on_commit=lambda _r, ev=self_done: ev.succeed())
+        replica.queue.mark_forced(record.lsn)  # already in our durable log
+        propose = Propose(cohort_id=cohort_id, epoch=replica.epoch,
+                          records=(record,))
+        for peer in replica.peers():
+            ack_ev = node.endpoint.request(
+                peer, propose, size=record.encoded_size() + 64)
+            ack_ev.add_callback(replica._on_ack)
+        yield self_done
+
+    # Line 10: open the cohort for writes, with fresh LSNs.
+    replica.next_seq = max(replica.next_seq, l_lst.seq + 1)
+    replica.open_for_writes = True
+    node.trace("takeover", "cohort open for writes",
+               cohort=cohort_id, epoch=replica.epoch,
+               reproposed=len(unresolved))
+    replica.broadcast_commit()
+    spawn(sim, replica.commit_loop(), name=f"commit-loop-{cohort_id}")
+    return len(unresolved), caught

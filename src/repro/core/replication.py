@@ -1,0 +1,507 @@
+"""The replication protocol state machine (§5, Fig. 4).
+
+One :class:`CohortReplica` exists per (node, key range) pair and owns the
+node's role in that cohort — leader or follower — plus the commit queue,
+storage engine and protocol handlers.
+
+Steady state (Fig. 4):
+
+* a client write reaches the **leader**, which appends a log record and
+  forces it, *and in parallel* appends the write to the commit queue and
+  sends a propose message to both followers;
+* each **follower** forces a log record, appends to its commit queue, and
+  acks;
+* after its own force plus at least one ack, the leader applies the write
+  to its memtable (committing it) and replies to the client — there is no
+  separate commit record, recovery re-proposals guarantee durability;
+* periodically, the leader sends an asynchronous **commit message**; the
+  followers apply pending writes up to the given LSN and save that
+  last-committed LSN with a non-forced log write.
+
+Strongly consistent reads are served only by the leader; timeline reads
+by any replica (possibly stale until the next commit message).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.events import Event
+from ..sim.process import all_of, timeout
+from ..sim.resources import serve
+from ..storage.lsn import LSN
+from ..storage.records import CommitMarker, WriteRecord
+from .commitqueue import CommitQueue
+from .datamodel import GetResult, PutResult
+from .messages import (Ack, ClientGet, ClientMultiWrite, ClientWrite, Commit,
+                       Propose)
+from .partition import Cohort
+
+__all__ = ["CohortReplica", "Role"]
+
+
+class Role:
+    """Replica roles; OFFLINE only while the node is down."""
+
+    LEADER = "leader"
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    RECOVERING = "recovering"
+    OFFLINE = "offline"
+
+
+def _err(code: str, hint: Optional[str] = None) -> Dict:
+    return {"ok": False, "code": code, "hint": hint}
+
+
+def _ok(result) -> Dict:
+    return {"ok": True, "result": result}
+
+
+class CohortReplica:
+    """This node's participation in one cohort."""
+
+    def __init__(self, node, cohort: Cohort):
+        self.node = node
+        self.cohort = cohort
+        self.cohort_id = cohort.cohort_id
+        self.engine = node.make_engine(cohort.cohort_id)
+        self.queue = CommitQueue(acks_needed=node.config.acks_needed)
+        self.role = Role.RECOVERING
+        self.epoch = 0
+        self.leader: Optional[str] = None
+        self.open_for_writes = False
+        self.committed_lsn = LSN.zero()
+        self.next_seq = 1
+        self.electing = False
+        self.candidate_path: Optional[str] = None
+        self.write_block: Optional[Event] = None
+        self._last_commit_broadcast = LSN.zero()
+        self.last_broadcast_at = 0.0   # benchmarks time failovers off this
+        # counters
+        self.writes_served = 0
+        self.reads_served = 0
+        self.proposes_handled = 0
+
+    # ------------------------------------------------------------------
+    # Identity helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_leader(self) -> bool:
+        return self.role == Role.LEADER
+
+    def peers(self) -> List[str]:
+        return [m for m in self.cohort.members if m != self.node.name]
+
+    def set_leader(self, leader: Optional[str]) -> None:
+        self.leader = leader
+        if leader == self.node.name:
+            self.role = Role.LEADER
+        elif self.role in (Role.LEADER, Role.CANDIDATE):
+            self.role = Role.FOLLOWER
+
+    def alloc_lsn(self) -> LSN:
+        lsn = LSN(self.epoch, self.next_seq)
+        self.next_seq += 1
+        return lsn
+
+    def latest_version(self, key: bytes, colname: bytes) -> int:
+        """Current version of a column, *including* pipelined pending
+        writes, so version numbers stay monotonic under concurrency."""
+        pending = self.queue.latest_pending_for(key, colname)
+        if pending is not None:
+            return 0 if pending.tombstone else pending.version
+        return self.engine.version_of(key, colname)
+
+    # ------------------------------------------------------------------
+    # Write blocking (the §6.1 "momentarily blocks new writes")
+    # ------------------------------------------------------------------
+    def block_writes(self) -> None:
+        if self.write_block is None:
+            self.write_block = Event(self.node.sim)
+
+    def unblock_writes(self) -> None:
+        block, self.write_block = self.write_block, None
+        if block is not None and not block.triggered:
+            block.succeed()
+
+    # ------------------------------------------------------------------
+    # Leader: client writes
+    # ------------------------------------------------------------------
+    def handle_client_write(self, req):
+        """Process generator for a ClientWrite/ClientMultiWrite request."""
+        node, cfg = self.node, self.node.config
+        msg = req.payload
+        if not self.is_leader:
+            req.respond(_err("not-leader", self.leader))
+            return
+        if not self.open_for_writes:
+            req.respond(_err("unavailable", self.leader))
+            return
+        while self.write_block is not None:
+            yield self.write_block
+            if not self.is_leader or not self.open_for_writes:
+                req.respond(_err("not-leader", self.leader))
+                return
+        yield from serve(node.cpu, cfg.write_leader_service)
+        if not self.is_leader or not self.open_for_writes:
+            req.respond(_err("not-leader", self.leader))
+            return
+        # Conditional writes pay a read + version compare first (§5.1).
+        column_ops = self._column_ops(msg)
+        if any(expected is not None for _, _, expected in column_ops):
+            yield from serve(node.cpu, cfg.conditional_check_service)
+            for colname, _value, expected in column_ops:
+                if expected is None:
+                    continue
+                actual = self.latest_version(msg.key, colname)
+                if actual != expected:
+                    req.respond({"ok": False, "code": "version-mismatch",
+                                 "expected": expected, "actual": actual})
+                    return
+        records = self._make_records(msg, column_ops)
+        if cfg.parallel_force_and_propose:
+            done = self._replicate(records)
+        else:
+            # Ablation: force the leader's log *before* proposing, as a
+            # naive implementation would — serializing the two disk
+            # forces on the critical path.
+            forces = [node.wal.append(r, force=True) for r in records]
+            yield all_of(node.sim, forces)
+            done = self._replicate(records, already_logged=True)
+        yield done
+        self.writes_served += 1
+        req.respond(_ok(PutResult(version=records[-1].version)), size=64)
+
+    # ------------------------------------------------------------------
+    # Leader: multi-operation transactions (§8.2 extension)
+    # ------------------------------------------------------------------
+    def handle_client_txn(self, req):
+        """Process generator for a ClientTransaction request.
+
+        Multiple rows of one cohort, committed atomically: one batch log
+        force, one propose, contiguous LSNs — the commit queue then
+        commits all records in the same advance step.
+        """
+        node, cfg = self.node, self.node.config
+        txn = req.payload
+        if not self.is_leader or not self.open_for_writes:
+            req.respond(_err("not-leader", self.leader))
+            return
+        while self.write_block is not None:
+            yield self.write_block
+            if not self.is_leader or not self.open_for_writes:
+                req.respond(_err("not-leader", self.leader))
+                return
+        yield from serve(node.cpu, cfg.write_leader_service
+                         + 0.05e-3 * max(0, len(txn.ops) - 1))
+        if not self.is_leader or not self.open_for_writes:
+            req.respond(_err("not-leader", self.leader))
+            return
+        for op in txn.ops:
+            owner = node.replica_for_key(op.key)
+            if owner is not self:
+                req.respond({"ok": False, "code": "cross-cohort",
+                             "hint": None})
+                return
+        if any(op.expected_version is not None for op in txn.ops):
+            yield from serve(node.cpu, cfg.conditional_check_service)
+            for op in txn.ops:
+                if op.expected_version is None:
+                    continue
+                actual = self.latest_version(op.key, op.colname)
+                if actual != op.expected_version:
+                    req.respond({"ok": False, "code": "version-mismatch",
+                                 "expected": op.expected_version,
+                                 "actual": actual})
+                    return
+        records: List[WriteRecord] = []
+        staged: Dict[Tuple[bytes, bytes], int] = {}
+        for op in txn.ops:
+            base = staged.get((op.key, op.colname))
+            if base is None:
+                base = self.latest_version(op.key, op.colname)
+            version = base + 1
+            staged[(op.key, op.colname)] = version
+            records.append(WriteRecord(
+                lsn=self.alloc_lsn(), cohort_id=self.cohort_id,
+                key=op.key, colname=op.colname,
+                value=None if op.tombstone else op.value,
+                version=version, timestamp=node.sim.now,
+                tombstone=op.tombstone))
+        done = self._replicate(records, atomic=True)
+        yield done
+        self.writes_served += 1
+        req.respond(_ok(PutResult(version=records[-1].version)), size=64)
+
+    @staticmethod
+    def _column_ops(msg) -> List[Tuple[bytes, Optional[bytes],
+                                       Optional[int]]]:
+        """Normalize single- and multi-column writes to (col, value,
+        expected_version) triples."""
+        if isinstance(msg, ClientWrite):
+            return [(msg.colname, msg.value, msg.expected_version)]
+        if isinstance(msg, ClientMultiWrite):
+            expected = msg.expected_versions or (None,) * len(msg.columns)
+            return [(col, value, exp)
+                    for (col, value), exp in zip(msg.columns, expected)]
+        raise TypeError(f"unexpected write message {msg!r}")
+
+    def _make_records(self, msg, column_ops) -> List[WriteRecord]:
+        records = []
+        for colname, value, _expected in column_ops:
+            version = self.latest_version(msg.key, colname) + 1
+            records.append(WriteRecord(
+                lsn=self.alloc_lsn(), cohort_id=self.cohort_id,
+                key=msg.key, colname=colname,
+                value=None if msg.tombstone else value,
+                version=version, timestamp=self.node.sim.now,
+                tombstone=msg.tombstone))
+            # Make the pipelined version visible to subsequent ops in
+            # this same batch by staging into the queue inside
+            # _replicate; multi-column batches never repeat a column.
+        return records
+
+    def _replicate(self, records: List[WriteRecord],
+                   already_logged: bool = False,
+                   atomic: bool = False) -> Event:
+        """Fig. 4, leader side: force + queue + propose, all in parallel.
+
+        Returns an event that fires when every record has committed.
+        ``atomic`` forces the batch with a single log operation (§8.2:
+        multi-operation transactions must never persist partially).
+        """
+        node, cfg = self.node, self.node.config
+        done = Event(node.sim)
+        remaining = len(records)
+
+        def on_commit(_record: WriteRecord) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and not done.triggered:
+                done.succeed()
+
+        for record in records:
+            self.queue.add(record, on_commit=on_commit)
+        if already_logged:
+            for record in records:
+                self._on_local_force(record.lsn)
+        elif atomic:
+            batch_ev = node.wal.append_batch(records)
+
+            def _all_forced(_ev, lsns=[r.lsn for r in records]):
+                for lsn in lsns:
+                    self.queue.mark_forced(lsn)
+                self._advance()
+
+            batch_ev.add_callback(_all_forced)
+        else:
+            for record in records:
+                force_ev = node.wal.append(record, force=True)
+                force_ev.add_callback(
+                    lambda _ev, lsn=record.lsn: self._on_local_force(lsn))
+        propose = Propose(
+            cohort_id=self.cohort_id, epoch=self.epoch,
+            records=tuple(records),
+            committed_lsn=(self.committed_lsn
+                           if cfg.piggyback_commits else None))
+        size = sum(r.encoded_size() for r in records) + 64
+        for peer in self.peers():
+            ack_ev = node.endpoint.request(peer, propose, size=size)
+            ack_ev.add_callback(self._on_ack)
+        return done
+
+    def _on_local_force(self, lsn: LSN) -> None:
+        self.queue.mark_forced(lsn)
+        self._advance()
+
+    def _on_ack(self, ev: Event) -> None:
+        if not ev._ok:
+            ev.defuse()
+            return
+        ack = ev._value
+        if not isinstance(ack, Ack) or ack.cohort_id != self.cohort_id:
+            return
+        self.queue.add_ack_upto(ack.lsn, ack.sender)
+        self._advance()
+
+    def _advance(self) -> None:
+        """Commit the ready prefix; apply and notify."""
+        committed = self.queue.advance_leader()
+        for record in committed:
+            self.engine.apply(record)
+        if committed:
+            self.committed_lsn = self.queue.committed_lsn
+            self.node.maybe_flush(self)
+
+    # ------------------------------------------------------------------
+    # Leader: periodic commit messages
+    # ------------------------------------------------------------------
+    def commit_loop(self):
+        """Long-running leader process: broadcast commit messages."""
+        node, cfg = self.node, self.node.config
+        epoch = self.epoch
+        while self.is_leader and self.epoch == epoch:
+            yield timeout(node.sim, cfg.commit_period)
+            if not self.is_leader or self.epoch != epoch:
+                return
+            self.broadcast_commit()
+
+    def broadcast_commit(self) -> None:
+        self.last_broadcast_at = self.node.sim.now
+        lsn = self.committed_lsn
+        if lsn <= self._last_commit_broadcast:
+            return
+        node = self.node
+        node.wal.append(CommitMarker(lsn=lsn, cohort_id=self.cohort_id,
+                                     committed_lsn=lsn), force=False)
+        msg = Commit(cohort_id=self.cohort_id, epoch=self.epoch, lsn=lsn)
+        for peer in self.peers():
+            node.endpoint.send(peer, msg, size=48)
+        self._last_commit_broadcast = lsn
+
+    # ------------------------------------------------------------------
+    # Follower: proposes and commits
+    # ------------------------------------------------------------------
+    def handle_propose(self, req):
+        """Process generator for a Propose request (Fig. 4, follower)."""
+        node, cfg = self.node, self.node.config
+        msg: Propose = req.payload
+        if msg.epoch < self.epoch:
+            return  # stale leader; no ack
+        if self.role == Role.RECOVERING:
+            return  # not caught up: accepting would create log gaps (§6.1)
+        if msg.epoch > self.epoch:
+            self.epoch = msg.epoch
+            self.set_leader(req.src)
+        yield from serve(node.cpu, cfg.write_follower_service)
+        if self.role not in (Role.FOLLOWER, Role.CANDIDATE):
+            return
+        missing = [
+            record for record in msg.records
+            if not node.wal.is_skipped(self.cohort_id, record.lsn)
+            and not node.wal.contains(self.cohort_id, record.lsn)]
+        forces = []
+        if len(missing) > 1 and len(missing) == len(msg.records):
+            # Multi-operation transaction: force atomically (§8.2).
+            forces.append(node.wal.append_batch(missing))
+        else:
+            forces.extend(node.wal.append(record, force=True)
+                          for record in missing)
+        for record in msg.records:
+            if not node.wal.is_skipped(self.cohort_id, record.lsn):
+                self.queue.add(record)
+        if forces:
+            yield all_of(node.sim, forces)
+        if msg.committed_lsn is not None:
+            self._apply_commit_info(msg.committed_lsn)
+        self.proposes_handled += 1
+        top = max(r.lsn for r in msg.records)
+        req.respond(Ack(cohort_id=self.cohort_id, epoch=self.epoch,
+                        lsn=top, sender=node.name), size=48)
+
+    def handle_commit(self, src: str, msg: Commit) -> None:
+        """Synchronous handler for the one-way commit message."""
+        if msg.epoch < self.epoch:
+            return
+        if msg.epoch > self.epoch:
+            self.epoch = msg.epoch
+            self.set_leader(src)
+        self._apply_commit_info(msg.lsn)
+
+    def _apply_commit_info(self, upto: LSN) -> None:
+        if upto <= self.committed_lsn:
+            return
+        committed = self.queue.apply_commit(upto)
+        for record in committed:
+            self.engine.apply(record)
+        self.committed_lsn = max(self.committed_lsn, upto)
+        self.node.wal.append(
+            CommitMarker(lsn=upto, cohort_id=self.cohort_id,
+                         committed_lsn=upto), force=False)
+        if committed:
+            self.node.charge_background(
+                len(committed) * self.node.config.commit_apply_service)
+            self.node.maybe_flush(self)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def handle_get(self, req):
+        """Process generator for a ClientGet."""
+        node, cfg = self.node, self.node.config
+        msg: ClientGet = req.payload
+        if msg.consistent:
+            if not self.is_leader:
+                req.respond(_err("not-leader", self.leader))
+                return
+            service = cfg.read_service + cfg.strong_read_overhead
+        else:
+            if self.role == Role.OFFLINE:
+                req.respond(_err("unavailable"))
+                return
+            service = cfg.read_service
+        yield from serve(node.cpu, service)
+        if msg.consistent and not self.is_leader:
+            req.respond(_err("not-leader", self.leader))
+            return
+        cell = self.engine.get(msg.key, msg.colname)
+        if cell is None or cell.tombstone:
+            result = GetResult.not_found()
+            size = 64
+        else:
+            result = GetResult(value=cell.value, version=cell.version)
+            size = 64 + (len(cell.value) if cell.value else 0)
+        self.reads_served += 1
+        req.respond(_ok(result), size=size)
+
+    def handle_scan(self, req):
+        """Process generator for a ClientScan (ordered range read)."""
+        node, cfg = self.node, self.node.config
+        msg = req.payload
+        if msg.consistent:
+            if not self.is_leader:
+                req.respond(_err("not-leader", self.leader))
+                return
+        elif self.role == Role.OFFLINE:
+            req.respond(_err("unavailable"))
+            return
+        rows = self.engine.scan(msg.start_key, msg.end_key,
+                                limit=msg.limit)
+        service = (cfg.read_service
+                   + (cfg.strong_read_overhead if msg.consistent else 0)
+                   + cfg.scan_row_service * len(rows))
+        yield from serve(node.cpu, service)
+        if msg.consistent and not self.is_leader:
+            req.respond(_err("not-leader", self.leader))
+            return
+        payload = [
+            (key, {col: (cell.value, cell.version)
+                   for col, cell in row.items()})
+            for key, row in rows
+        ]
+        size = 64 + sum(
+            len(key) + sum(len(v or b"") + len(c) + 16
+                           for c, (v, _ver) in cols.items())
+            for key, cols in payload)
+        self.reads_served += 1
+        req.respond(_ok(payload), size=size)
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        self.role = Role.OFFLINE
+        self.open_for_writes = False
+        self.leader = None
+        self.queue.clear()
+        self.engine.crash()
+        self.electing = False
+        self.candidate_path = None
+        self.write_block = None
+
+    def prepare_restart(self) -> None:
+        self.role = Role.RECOVERING
+        self.epoch = 0
+        self.committed_lsn = LSN.zero()
+        self._last_commit_broadcast = LSN.zero()

@@ -1,0 +1,253 @@
+"""Discrete-event simulation kernel.
+
+This module provides the scheduler (:class:`Simulator`) and the basic
+one-shot :class:`Event` primitive that everything else in :mod:`repro.sim`
+is built on.  The design follows the classic event-heap pattern (similar in
+spirit to SimPy): the simulator owns a priority queue of ``(time, priority,
+sequence, callback)`` entries and executes them in timestamp order.  Time is
+a float measured in **seconds** of simulated time.
+
+Determinism
+-----------
+Two runs with the same seed must produce identical traces, so ties in the
+heap are broken by a monotonically increasing sequence number: events
+scheduled earlier run earlier.  No wall-clock time or unordered-set
+iteration is used anywhere in the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Priority for callbacks that must run before ordinary ones at the same
+#: timestamp (used internally when an event fires to wake its waiters).
+URGENT = 0
+
+#: Default priority for user-scheduled callbacks.
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class _Entry:
+    """A scheduled callback.  ``cancelled`` entries are skipped lazily."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[[], None]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[_Entry] = []
+        self._seq: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 priority: int = NORMAL) -> _Entry:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns a handle whose :meth:`cancel` removes the callback if it has
+        not yet fired.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, priority)
+
+    def call_at(self, time: float, callback: Callable[[], None],
+                priority: int = NORMAL) -> _Entry:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self._now})")
+        entry = _Entry(time, priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    @staticmethod
+    def cancel(entry: _Entry) -> None:
+        """Cancel a scheduled entry (no-op if it already ran)."""
+        entry.cancelled = True
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next pending callback.  Returns False when idle."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            entry.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run callbacks until the heap drains or ``until`` is reached.
+
+        When ``until`` is given, simulated time is advanced to exactly
+        ``until`` even if the last event fired earlier.
+        """
+        self._running = True
+        try:
+            while self._heap:
+                entry = self._heap[0]
+                if until is not None and entry.time > until:
+                    break
+                self.step()
+        except StopSimulation:
+            pass
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until_complete(self, event: "Event",
+                           limit: Optional[float] = None) -> Any:
+        """Run until ``event`` fires; return its value (or raise).
+
+        ``limit`` bounds simulated time; exceeding it raises
+        :class:`SimulationError`.
+        """
+        def _stop(_ev: "Event") -> None:
+            raise StopSimulation()
+
+        event.add_callback(_stop)
+        self.run(until=limit)
+        if not event.triggered:
+            raise SimulationError(
+                f"event not triggered by t={self._now} (limit={limit})")
+        return event.result()
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress at the current time."""
+        raise StopSimulation()
+
+
+class Event:
+    """A one-shot event that callbacks (and processes) can wait on.
+
+    An event starts *pending*; exactly one of :meth:`succeed` or
+    :meth:`fail` moves it to *triggered*.  Callbacks added before the
+    trigger run (in order) at the moment of triggering; callbacks added
+    after run immediately.
+    """
+
+    __slots__ = ("sim", "_ok", "_value", "_callbacks", "_defused")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._ok: Optional[bool] = None  # None=pending, True/False=done
+        self._value: Any = None
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event still pending")
+        return self._ok
+
+    def result(self) -> Any:
+        """The success value; re-raises the failure exception."""
+        if self._ok is None:
+            raise SimulationError("event still pending")
+        if self._ok:
+            return self._value
+        self._defused = True
+        raise self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None."""
+        if self._ok is False:
+            return self._value
+        return None
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled (suppresses the unhandled check)."""
+        self._defused = True
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        self._trigger(False, exc)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = ok
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        for cb in callbacks or ():
+            cb(self)
+
+    # -- waiting ----------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Invoke ``callback(event)`` when (or if already) triggered."""
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)

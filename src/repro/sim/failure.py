@@ -1,0 +1,76 @@
+"""Failure injection.
+
+Drives the availability experiments (Table 1, Fig. 1, the Appendix B
+recovery walk-through) and the fault-tolerance tests.  A schedule is a
+list of timed actions against objects that expose ``crash()`` /
+``restart()`` (nodes) or against the network (partitions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from .events import Simulator
+
+__all__ = ["FailureSchedule", "CrashRestartable"]
+
+
+class CrashRestartable:
+    """Protocol-by-convention for anything the schedule can kill."""
+
+    def crash(self) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+    def restart(self) -> None:  # pragma: no cover - interface only
+        raise NotImplementedError
+
+
+class FailureSchedule:
+    """Timed crash/restart/partition actions, applied to a simulator."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.log: List[Tuple[float, str]] = []
+
+    def _run(self, at: float, label: str, fn: Callable[[], Any]) -> None:
+        def action() -> None:
+            self.log.append((self.sim.now, label))
+            fn()
+        self.sim.call_at(at, action)
+
+    # -- node failures ----------------------------------------------------
+    def crash_at(self, at: float, target: Any,
+                 label: Optional[str] = None) -> None:
+        name = label or getattr(target, "name", repr(target))
+        self._run(at, f"crash {name}", target.crash)
+
+    def restart_at(self, at: float, target: Any,
+                   label: Optional[str] = None) -> None:
+        name = label or getattr(target, "name", repr(target))
+        self._run(at, f"restart {name}", target.restart)
+
+    def crash_for(self, at: float, duration: float, target: Any,
+                  label: Optional[str] = None) -> None:
+        """Crash at ``at`` and restart ``duration`` seconds later."""
+        self.crash_at(at, target, label)
+        self.restart_at(at + duration, target, label)
+
+    def lose_disk_at(self, at: float, target: Any,
+                     label: Optional[str] = None) -> None:
+        """Permanent media failure: the node restarts with no local data.
+
+        ``target`` must expose ``lose_disk()`` (Spinnaker nodes do); the
+        follower-recovery path then skips local recovery and goes straight
+        to catch-up (§6.1).
+        """
+        name = label or getattr(target, "name", repr(target))
+        self._run(at, f"lose-disk {name}", target.lose_disk)
+
+    # -- network failures -----------------------------------------------
+    def partition_at(self, at: float, network: Any, a: str, b: str) -> None:
+        self._run(at, f"partition {a}|{b}", lambda: network.block(a, b))
+
+    def heal_at(self, at: float, network: Any,
+                a: Optional[str] = None, b: Optional[str] = None) -> None:
+        self._run(at, f"heal {a or 'all'}",
+                  lambda: network.heal(a, b))

@@ -1,0 +1,237 @@
+"""Simulated datacenter network.
+
+Models the paper's setup (Appendix C): servers on a rack-level 1-GbE
+switch, clients on a second rack, reliable in-order messaging over TCP
+(Appendix A.1).  Concretely:
+
+* every ordered pair of endpoints is a FIFO channel — message *i* is
+  delivered before message *i + 1* (TCP in-order semantics);
+* per-message latency = ``base + size / bandwidth + jitter`` where jitter
+  is drawn from a deterministic per-network RNG stream;
+* messages to a crashed endpoint are silently dropped (the sender learns
+  about failures through acks/timeouts/coordination service, exactly as
+  Spinnaker does);
+* network partitions drop messages between blocked pairs.
+
+A small request/reply (RPC) layer is included because both datastores and
+the benchmark clients are built around it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .events import Event, SimulationError, Simulator
+from .rng import RngRegistry
+
+__all__ = ["LatencyModel", "Network", "Endpoint", "RpcTimeout", "Request"]
+
+
+class RpcTimeout(Exception):
+    """A :meth:`Endpoint.request` did not get a reply in time."""
+
+
+class LatencyModel:
+    """Latency parameters for one network.
+
+    Defaults approximate a lightly tuned 1-GbE datacenter rack: ~120 GbE
+    microseconds of fixed cost (NIC + switch + kernel) and 1 Gbit/s of
+    bandwidth, so a 4 KB payload costs ~33 us of serialization.
+    """
+
+    def __init__(self, base: float = 120e-6,
+                 bandwidth_bytes_per_sec: float = 125e6,
+                 jitter: float = 30e-6):
+        self.base = base
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.jitter = jitter
+
+    def delay(self, size_bytes: int, rng) -> float:
+        """One-way delay for a message of ``size_bytes``."""
+        transfer = size_bytes / self.bandwidth if self.bandwidth else 0.0
+        jitter = rng.expovariate(1.0 / self.jitter) if self.jitter else 0.0
+        return self.base + transfer + jitter
+
+
+class Request:
+    """What an RPC handler receives: the payload plus a ``respond`` hook."""
+
+    __slots__ = ("src", "payload", "_respond", "responded")
+
+    def __init__(self, src: str, payload: Any,
+                 respond: Callable[[Any, int], None]):
+        self.src = src
+        self.payload = payload
+        self._respond = respond
+        self.responded = False
+
+    def respond(self, value: Any, size: int = 128) -> None:
+        """Send the reply back to the requester (at most once)."""
+        if self.responded:
+            raise SimulationError("request already responded to")
+        self.responded = True
+        self._respond(value, size)
+
+
+class _Envelope:
+    __slots__ = ("src", "dst", "payload", "size", "req_id", "reply_to")
+
+    def __init__(self, src: str, dst: str, payload: Any, size: int,
+                 req_id: Optional[int], reply_to: Optional[int]):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = size
+        self.req_id = req_id
+        self.reply_to = reply_to
+
+
+class Network:
+    """The switch: owns endpoints, channels, and the partition set."""
+
+    def __init__(self, sim: Simulator, rng: RngRegistry,
+                 latency: Optional[LatencyModel] = None):
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self._rng = rng.stream("network")
+        self._endpoints: Dict[str, "Endpoint"] = {}
+        self._last_delivery: Dict[Tuple[str, str], float] = {}
+        self._blocked: set = set()
+        self._req_ids = itertools.count(1)
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- membership -----------------------------------------------------
+    def endpoint(self, name: str) -> "Endpoint":
+        """Create (or fetch) the endpoint for node ``name``."""
+        ep = self._endpoints.get(name)
+        if ep is None:
+            ep = Endpoint(self, name)
+            self._endpoints[name] = ep
+        return ep
+
+    def get(self, name: str) -> "Endpoint":
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise SimulationError(f"unknown endpoint {name!r}") from None
+
+    # -- partitions ---------------------------------------------------------
+    def block(self, a: str, b: str) -> None:
+        """Drop traffic between ``a`` and ``b`` (both directions)."""
+        self._blocked.add(frozenset((a, b)))
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Heal one pair, or all partitions when called with no args."""
+        if a is None:
+            self._blocked.clear()
+        else:
+            self._blocked.discard(frozenset((a, b)))
+
+    def is_blocked(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._blocked
+
+    # -- transmission -----------------------------------------------------
+    def _transmit(self, env: _Envelope) -> None:
+        self.messages_sent += 1
+        src_ep = self._endpoints.get(env.src)
+        if src_ep is None or not src_ep.alive:
+            self.messages_dropped += 1
+            return
+        if self.is_blocked(env.src, env.dst):
+            self.messages_dropped += 1
+            return
+        delay = self.latency.delay(env.size, self._rng)
+        arrival = self.sim.now + delay
+        # FIFO per ordered pair: never deliver before an earlier message.
+        key = (env.src, env.dst)
+        arrival = max(arrival, self._last_delivery.get(key, 0.0))
+        self._last_delivery[key] = arrival
+        self.sim.call_at(arrival, lambda: self._deliver(env))
+
+    def _deliver(self, env: _Envelope) -> None:
+        ep = self._endpoints.get(env.dst)
+        if ep is None or not ep.alive:
+            self.messages_dropped += 1
+            return
+        ep._receive(env)
+
+
+class Endpoint:
+    """One node's attachment to the network."""
+
+    def __init__(self, network: Network, name: str):
+        self.network = network
+        self.sim = network.sim
+        self.name = name
+        self.alive = True
+        self._handler: Optional[Callable[[Request], None]] = None
+        self._pending: Dict[int, Event] = {}
+
+    # -- wiring ----------------------------------------------------------
+    def on_request(self, handler: Callable[[Request], None]) -> None:
+        """Install the (single) inbound-request handler."""
+        self._handler = handler
+
+    # -- lifecycle ----------------------------------------------------------
+    def crash(self) -> None:
+        """Take the endpoint off the network; pending RPCs never resolve."""
+        self.alive = False
+        self._pending.clear()
+
+    def restart(self) -> None:
+        self.alive = True
+
+    # -- messaging -----------------------------------------------------------
+    def send(self, dst: str, payload: Any, size: int = 256) -> None:
+        """Fire-and-forget one-way message."""
+        if not self.alive:
+            return
+        self.network._transmit(
+            _Envelope(self.name, dst, payload, size, None, None))
+
+    def request(self, dst: str, payload: Any, size: int = 256,
+                timeout: Optional[float] = None) -> Event:
+        """Send a request; the returned event fires with the reply value.
+
+        If ``timeout`` is given and no reply arrives in time the event
+        fails with :class:`RpcTimeout`.  Without a timeout, a request to a
+        node that dies before replying never resolves — callers in the
+        replication protocol always pair this with quorum waits or
+        failure-detector callbacks, as the paper's protocol does.
+        """
+        ev = Event(self.sim)
+        if not self.alive:
+            ev.fail(RpcTimeout(f"{self.name} is down"))
+            return ev
+        req_id = next(self.network._req_ids)
+        self._pending[req_id] = ev
+        self.network._transmit(
+            _Envelope(self.name, dst, payload, size, req_id, None))
+        if timeout is not None:
+            def _expire() -> None:
+                pending = self._pending.pop(req_id, None)
+                if pending is not None and not pending.triggered:
+                    pending.fail(RpcTimeout(
+                        f"rpc {self.name}->{dst} timed out after {timeout}s"))
+            self.sim.schedule(timeout, _expire)
+        return ev
+
+    # -- inbound ------------------------------------------------------------
+    def _receive(self, env: _Envelope) -> None:
+        if env.reply_to is not None:
+            ev = self._pending.pop(env.reply_to, None)
+            if ev is not None and not ev.triggered:
+                ev.succeed(env.payload)
+            return
+        if self._handler is None:
+            return
+
+        def _respond(value: Any, size: int, _env: _Envelope = env) -> None:
+            if not self.alive or _env.req_id is None:
+                return
+            self.network._transmit(_Envelope(
+                self.name, _env.src, value, size, None, _env.req_id))
+
+        self._handler(Request(env.src, env.payload, _respond))

@@ -1,0 +1,277 @@
+"""Generator-based processes on top of the event kernel.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  Each yield suspends the process until the event triggers; the
+event's value becomes the result of the ``yield`` expression and a failed
+event is re-raised inside the generator.  A process is itself an event that
+succeeds with the generator's return value, so processes compose.
+
+Example::
+
+    def writer(sim, disk):
+        yield sim_timeout(sim, 0.5)            # sleep 500 ms
+        lsn = yield disk.force(4096)           # wait for a log force
+        return lsn
+
+    proc = Process(sim, writer(sim, disk))
+    sim.run()
+    assert proc.ok
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from .events import Event, SimulationError, Simulator, URGENT
+
+__all__ = [
+    "Process",
+    "Timeout",
+    "Interrupt",
+    "ProcessKilled",
+    "AllOf",
+    "AnyOf",
+    "spawn",
+    "timeout",
+    "all_of",
+    "any_of",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ProcessKilled(SimulationError):
+    """A process ended because it did not handle an interrupt.
+
+    Distinguished from ordinary failures so supervisors (e.g. a node
+    killing its handlers on crash) can tell deliberate kills from bugs.
+    """
+
+
+class Timeout(Event):
+    """An event that succeeds after a fixed delay."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None):
+        super().__init__(sim)
+        self._entry = sim.schedule(delay, lambda: self.succeed(value))
+
+
+class Process(Event):
+    """Drives a generator, treating each yielded value as an event."""
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(self, sim: Simulator, gen: Generator[Event, Any, Any],
+                 name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"Process needs a generator, got {gen!r}")
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Start the process at the current time, but via the heap so that
+        # creation order is preserved deterministically.
+        sim.schedule(0.0, self._resume_start, priority=URGENT)
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting an already-finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        target, self._target = self._target, None
+        self.sim.schedule(
+            0.0, lambda: self._step(None, Interrupt(cause), target),
+            priority=URGENT)
+
+    # -- internals -----------------------------------------------------------
+    def _resume_start(self) -> None:
+        if not self.triggered:
+            self._step(None, None, None)
+
+    def _on_target(self, event: Event) -> None:
+        if self._target is not event:
+            return  # stale wake-up (we were interrupted away from it)
+        self._target = None
+        if event._ok:
+            self._step(event._value, None, None)
+        else:
+            event.defuse()
+            self._step(None, event._value, None)
+
+    def _step(self, value: Any, exc: Optional[BaseException],
+              detached: Optional[Event]) -> None:
+        """Advance the generator by one yield."""
+        if self.triggered:
+            return
+        # ``detached`` is the event we abandoned due to an interrupt; we
+        # must ignore its eventual trigger, which _on_target handles via
+        # the identity check on self._target.
+        del detached
+        try:
+            if exc is None:
+                target = self._gen.send(value)
+            else:
+                target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as unhandled:
+            self.fail(ProcessKilled(
+                f"process {self.name!r} did not handle {unhandled!r}"))
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate into event
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"))
+            return
+        self._target = target
+        target.add_callback(self._on_target)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, sim: Simulator, events: Iterable[Event]):
+        super().__init__(sim)
+        self._events: List[Event] = list(events)
+        self._pending = len(self._events)
+        if not self._events:
+            self.succeed([])
+            return
+        for ev in self._events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds with the list of values once every child succeeds.
+
+    Fails as soon as any child fails (remaining children keep running).
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([ev._value for ev in self._events])
+
+
+class AnyOf(_Condition):
+    """Succeeds with (index, value) of the first child that succeeds."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if event._ok:
+            self.succeed((self._events.index(event), event._value))
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+
+class Quorum(Event):
+    """Succeeds once ``need`` of the child events have succeeded.
+
+    Used to model quorum waits (e.g. "wait for acks from any 2 of 3
+    replicas").  Child failures count against the quorum; the Quorum event
+    fails only if success becomes impossible.
+    """
+
+    __slots__ = ("_need", "_got", "_left", "_values")
+
+    def __init__(self, sim: Simulator, events: Iterable[Event], need: int):
+        super().__init__(sim)
+        events = list(events)
+        if need > len(events):
+            raise SimulationError(
+                f"quorum of {need} impossible with {len(events)} events")
+        self._need = need
+        self._got = 0
+        self._left = len(events)
+        self._values: List[Any] = []
+        if need <= 0:
+            self.succeed([])
+            return
+        for ev in events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if not event._ok:
+            event.defuse()
+        if self.triggered:
+            return
+        self._left -= 1
+        if event._ok:
+            self._got += 1
+            self._values.append(event._value)
+            if self._got >= self._need:
+                self.succeed(list(self._values))
+                return
+        if self._got + self._left < self._need:
+            self.fail(SimulationError(
+                f"quorum unreachable: {self._got} of {self._need}"))
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+def spawn(sim: Simulator, gen: Generator[Event, Any, Any],
+          name: str = "") -> Process:
+    """Start a new process from a generator."""
+    return Process(sim, gen, name=name)
+
+
+def timeout(sim: Simulator, delay: float, value: Any = None) -> Timeout:
+    """An event that fires ``delay`` seconds from now."""
+    return Timeout(sim, delay, value)
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> AllOf:
+    """An event that succeeds once every child succeeds (see AllOf)."""
+    return AllOf(sim, events)
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> AnyOf:
+    """An event that succeeds with the first child to succeed."""
+    return AnyOf(sim, events)
+
+
+def quorum(sim: Simulator, events: Iterable[Event], need: int) -> Quorum:
+    """An event that succeeds once ``need`` children have succeeded."""
+    return Quorum(sim, events, need)

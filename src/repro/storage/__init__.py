@@ -1,0 +1,28 @@
+"""Per-node storage substrate: WAL, memtables, SSTables (Bigtable-style).
+
+Spinnaker reused Cassandra's storage layer (Appendix C); this package is
+our from-scratch equivalent, shared by both the Spinnaker implementation
+(:mod:`repro.core`) and the eventually consistent baseline
+(:mod:`repro.baseline`).
+"""
+
+from .lsn import LSN
+from .records import (CheckpointRecord, CommitMarker, LogRecord, WriteRecord,
+                      decode_record, encode_record)
+from .wal import DuplicateLSN, SharedLog, StaleLSN
+from .memtable import Cell, Memtable, lsn_order, timestamp_order
+from .bloom import BloomFilter
+from .sstable import SSTable
+from .compaction import SizeTieredPolicy, compact
+from .engine import StorageEngine
+
+__all__ = [
+    "LSN",
+    "WriteRecord", "CommitMarker", "CheckpointRecord", "LogRecord",
+    "encode_record", "decode_record",
+    "SharedLog", "DuplicateLSN", "StaleLSN",
+    "Cell", "Memtable", "lsn_order", "timestamp_order",
+    "BloomFilter", "SSTable",
+    "compact", "SizeTieredPolicy",
+    "StorageEngine",
+]

@@ -1,0 +1,290 @@
+"""The shared write-ahead log.
+
+Each Spinnaker node has **one** physical log shared by every cohort the
+node belongs to, so a dedicated logging device can be used (§4.1).  Each
+cohort uses its own *logical* LSN stream within the shared log.  This has
+two consequences the paper spends §6.1.1 on:
+
+* a follower's log cannot be physically truncated after a leader change,
+  because log records of *other* cohorts are interleaved after the
+  truncation point — instead, discarded LSNs go into a per-cohort
+  **skipped-LSN list** that local recovery consults (*logical truncation*);
+* the oldest log segments are rolled over once their writes are captured
+  in SSTables, so catch-up may need to fall back to shipping SSTables.
+
+Durability model
+----------------
+``append(record, force=True)`` returns an event that fires when the record
+is on stable storage (the log device batches concurrent forces — group
+commit).  A non-forced append (used for commit markers) becomes durable
+when any *later* force completes.  On :meth:`crash`, every record that was
+not yet durable is lost, exactly like a real machine losing its page
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..sim.disk import LogDevice
+from ..sim.events import Event
+from .lsn import LSN
+from .records import (CheckpointRecord, CommitMarker, LogRecord, WriteRecord)
+
+__all__ = ["SharedLog", "DuplicateLSN", "StaleLSN"]
+
+
+class DuplicateLSN(Exception):
+    """A write record with an already-present LSN was appended."""
+
+
+class StaleLSN(Exception):
+    """A write record with a non-increasing LSN was appended."""
+
+
+class _Entry:
+    __slots__ = ("record", "seq")
+
+    def __init__(self, record: LogRecord, seq: int):
+        self.record = record
+        self.seq = seq
+
+
+class _CohortView:
+    """Per-cohort logical view over the shared physical log."""
+
+    __slots__ = ("writes", "by_lsn", "skipped", "last_cmt", "ckpt",
+                 "min_retained")
+
+    def __init__(self) -> None:
+        self.writes: List[_Entry] = []        # WriteRecords, append order
+        self.by_lsn: Dict[LSN, _Entry] = {}
+        self.skipped: Set[LSN] = set()        # the skipped-LSN list (§6.1.1)
+        self.last_cmt = LSN.zero()            # from durable commit markers
+        self.ckpt = LSN.zero()
+        self.min_retained = LSN.zero()        # GC horizon (exclusive)
+
+
+class SharedLog:
+    """One node's shared write-ahead log (volatile tail + durable prefix)."""
+
+    def __init__(self, device: Optional[LogDevice] = None):
+        self.device = device
+        self._seq = 0
+        self._durable_seq = 0
+        self._views: Dict[int, _CohortView] = {}
+        self._markers: List[_Entry] = []   # commit + checkpoint records
+        self.bytes_appended = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord, force: bool = True) -> Optional[Event]:
+        """Append a record; returns the durability event when ``force``.
+
+        Write records must carry a strictly increasing LSN within their
+        cohort (among non-skipped records); duplicates raise
+        :class:`DuplicateLSN` so protocol bugs surface loudly — recovery
+        code checks :meth:`contains` before re-appending.
+        """
+        view = self._view(record.cohort_id)
+        if isinstance(record, WriteRecord):
+            if record.lsn in view.by_lsn:
+                raise DuplicateLSN(f"{record.lsn} already in cohort "
+                                   f"{record.cohort_id} log")
+            last = self._last_lsn(view)
+            if record.lsn <= last:
+                raise StaleLSN(f"{record.lsn} <= last LSN {last}")
+        self._seq += 1
+        entry = _Entry(record, self._seq)
+        if isinstance(record, WriteRecord):
+            view.writes.append(entry)
+            view.by_lsn[record.lsn] = entry
+        else:
+            self._markers.append(entry)
+            if isinstance(record, CommitMarker):
+                if record.committed_lsn > view.last_cmt:
+                    view.last_cmt = record.committed_lsn
+            elif isinstance(record, CheckpointRecord):
+                if record.checkpoint_lsn > view.ckpt:
+                    view.ckpt = record.checkpoint_lsn
+        size = record.encoded_size()
+        self.bytes_appended += size
+        if self.device is None:
+            # No simulated device (pure unit tests): durable immediately.
+            self._durable_seq = self._seq
+            if not force:
+                return None
+            return Event(_NullSim()).succeed()
+        if force:
+            ev = self.device.force(size)
+            seq_at_append = self._seq
+            ev.add_callback(lambda _ev: self._mark_durable(seq_at_append))
+            return ev
+        self.device.append_noforce(size)
+        return None
+
+    def append_batch(self, records: List[LogRecord]) -> Optional[Event]:
+        """Append several records with a single force (§8.2 extension).
+
+        The batch is durable all-or-nothing: one device operation covers
+        every record, so a crash can never persist a prefix of a
+        multi-operation transaction's log records.
+        """
+        if not records:
+            return None
+        total = 0
+        for record in records:
+            if not isinstance(record, WriteRecord):
+                raise TypeError("append_batch takes WriteRecords only")
+            view = self._view(record.cohort_id)
+            if record.lsn in view.by_lsn:
+                raise DuplicateLSN(f"{record.lsn} already in cohort "
+                                   f"{record.cohort_id} log")
+            last = self._last_lsn(view)
+            if record.lsn <= last:
+                raise StaleLSN(f"{record.lsn} <= last LSN {last}")
+            self._seq += 1
+            entry = _Entry(record, self._seq)
+            view.writes.append(entry)
+            view.by_lsn[record.lsn] = entry
+            size = record.encoded_size()
+            total += size
+            self.bytes_appended += size
+        if self.device is None:
+            self._durable_seq = self._seq
+            return Event(_NullSim()).succeed()
+        ev = self.device.force(total)
+        seq_at_append = self._seq
+        ev.add_callback(lambda _ev: self._mark_durable(seq_at_append))
+        return ev
+
+    def _mark_durable(self, seq: int) -> None:
+        if seq > self._durable_seq:
+            self._durable_seq = seq
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _view(self, cohort_id: int) -> _CohortView:
+        view = self._views.get(cohort_id)
+        if view is None:
+            view = self._views[cohort_id] = _CohortView()
+        return view
+
+    @staticmethod
+    def _last_lsn(view: _CohortView) -> LSN:
+        for entry in reversed(view.writes):
+            if entry.record.lsn not in view.skipped:
+                return entry.record.lsn
+        return view.min_retained
+
+    def last_lsn(self, cohort_id: int) -> LSN:
+        """``n.lst``: the cohort's last (non-skipped) write LSN."""
+        return self._last_lsn(self._view(cohort_id))
+
+    def last_committed_lsn(self, cohort_id: int) -> LSN:
+        """``n.cmt``: from the most recent durable commit marker."""
+        return self._view(cohort_id).last_cmt
+
+    def checkpoint_lsn(self, cohort_id: int) -> LSN:
+        return self._view(cohort_id).ckpt
+
+    def contains(self, cohort_id: int, lsn: LSN) -> bool:
+        return lsn in self._view(cohort_id).by_lsn
+
+    def record_at(self, cohort_id: int, lsn: LSN) -> Optional[WriteRecord]:
+        entry = self._view(cohort_id).by_lsn.get(lsn)
+        return entry.record if entry is not None else None
+
+    def write_records(self, cohort_id: int, after: LSN = LSN.zero(),
+                      upto: Optional[LSN] = None,
+                      include_skipped: bool = False) -> List[WriteRecord]:
+        """Write records with ``after < lsn <= upto``, in LSN order."""
+        view = self._view(cohort_id)
+        out = [
+            entry.record for entry in view.writes
+            if entry.record.lsn > after
+            and (upto is None or entry.record.lsn <= upto)
+            and (include_skipped or entry.record.lsn not in view.skipped)
+        ]
+        out.sort(key=lambda rec: rec.lsn)
+        return out
+
+    def can_serve_after(self, cohort_id: int, lsn: LSN) -> bool:
+        """True if every record after ``lsn`` is still in the log (not
+        rolled over to SSTables) — the §6.1 catch-up source check."""
+        return lsn >= self._view(cohort_id).min_retained
+
+    # ------------------------------------------------------------------
+    # Logical truncation (§6.1.1) and GC
+    # ------------------------------------------------------------------
+    def add_skipped(self, cohort_id: int, lsns: Iterable[LSN]) -> None:
+        """Record discarded LSNs in the cohort's skipped-LSN list."""
+        self._view(cohort_id).skipped.update(lsns)
+
+    def skipped_lsns(self, cohort_id: int) -> Set[LSN]:
+        return set(self._view(cohort_id).skipped)
+
+    def is_skipped(self, cohort_id: int, lsn: LSN) -> bool:
+        return lsn in self._view(cohort_id).skipped
+
+    def gc_through(self, cohort_id: int, upto: LSN) -> int:
+        """Roll over log records with ``lsn <= upto`` (captured in
+        SSTables).  Skipped-LSN entries below the horizon are collected
+        with the log files they cover.  Returns records dropped."""
+        view = self._view(cohort_id)
+        keep: List[_Entry] = []
+        dropped = 0
+        for entry in view.writes:
+            if entry.record.lsn <= upto:
+                view.by_lsn.pop(entry.record.lsn, None)
+                dropped += 1
+            else:
+                keep.append(entry)
+        view.writes = keep
+        view.skipped = {lsn for lsn in view.skipped if lsn > upto}
+        if upto > view.min_retained:
+            view.min_retained = upto
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose every record that was not durable (volatile tail)."""
+        for view in self._views.values():
+            survivors = [e for e in view.writes if e.seq <= self._durable_seq]
+            view.writes = survivors
+            view.by_lsn = {e.record.lsn: e for e in survivors}
+        self._markers = [e for e in self._markers
+                         if e.seq <= self._durable_seq]
+        # Recompute marker-derived state from the durable prefix.
+        for view in self._views.values():
+            view.last_cmt = LSN.zero()
+            view.ckpt = LSN.zero()
+        for entry in self._markers:
+            view = self._view(entry.record.cohort_id)
+            rec = entry.record
+            if isinstance(rec, CommitMarker):
+                if rec.committed_lsn > view.last_cmt:
+                    view.last_cmt = rec.committed_lsn
+            elif isinstance(rec, CheckpointRecord):
+                if rec.checkpoint_lsn > view.ckpt:
+                    view.ckpt = rec.checkpoint_lsn
+
+    def wipe(self) -> None:
+        """Total media loss (double-disk failure, §6.1 'lost all data')."""
+        self._views.clear()
+        self._markers.clear()
+        self._seq = 0
+        self._durable_seq = 0
+
+    def cohorts(self) -> List[int]:
+        return list(self._views)
+
+
+class _NullSim:
+    """Minimal Simulator stand-in for device-less logs in unit tests."""
+
+    now = 0.0

@@ -1,0 +1,64 @@
+"""Tests for the Zipfian sampler and key-distribution plumbing."""
+
+import random
+
+import pytest
+
+from repro.bench.workload import Workload, ZipfSampler, read_workload
+
+
+def test_zipf_probabilities_sum_to_one():
+    sampler = ZipfSampler(100, theta=0.99)
+    total = sum(sampler.probability(i) for i in range(100))
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_zipf_is_monotonically_skewed():
+    sampler = ZipfSampler(50, theta=0.99)
+    probs = [sampler.probability(i) for i in range(50)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+    assert probs[0] > 10 * probs[-1]
+
+
+def test_zipf_theta_zero_is_uniform():
+    sampler = ZipfSampler(10, theta=0.0)
+    for i in range(10):
+        assert sampler.probability(i) == pytest.approx(0.1)
+
+
+def test_zipf_sampling_matches_distribution():
+    rng = random.Random(7)
+    sampler = ZipfSampler(20, theta=0.99)
+    counts = [0] * 20
+    n = 20_000
+    for _ in range(n):
+        counts[sampler.sample(rng)] += 1
+    # The hottest key should dominate roughly per its probability.
+    expected_hot = sampler.probability(0)
+    assert counts[0] / n == pytest.approx(expected_hot, rel=0.1)
+    assert counts[0] > counts[10] > 0
+
+
+def test_zipf_rejects_bad_params():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(5, theta=-1.0)
+
+
+def test_workload_key_chooser_uniform_and_zipf():
+    rng = random.Random(3)
+    keys = [b"k%d" % i for i in range(30)]
+    uniform = read_workload("strong")
+    chooser = uniform.key_chooser(keys, rng)
+    assert all(chooser() in keys for _ in range(20))
+
+    skewed = Workload(name="skew", key_distribution="zipfian").validate()
+    chooser = skewed.key_chooser(keys, rng)
+    draws = [chooser() for _ in range(3000)]
+    assert draws.count(keys[0]) > draws.count(keys[-1])
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(ValueError):
+        Workload(name="bad", key_distribution="pareto").validate()

@@ -1,0 +1,154 @@
+"""Tests for client routing, retries, and error mapping (repro.core.api)."""
+
+import pytest
+
+from repro.core import (RequestTimeout, SpinnakerCluster, SpinnakerConfig,
+                        VersionMismatch)
+from repro.core.partition import key_of
+from repro.sim.disk import DiskProfile
+from repro.sim.process import spawn
+
+
+def make_cluster(**overrides):
+    cfg = SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
+                          commit_period=0.2)
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    cluster = SpinnakerCluster(n_nodes=5, config=cfg, seed=31)
+    cluster.start()
+    return cluster
+
+
+def run(cluster, gen, limit=60.0):
+    proc = spawn(cluster.sim, gen)
+    cluster.run_until(lambda: proc.triggered, limit=limit, what="client op")
+    return proc.result()
+
+
+def test_leader_cache_learns_from_redirects():
+    cluster = make_cluster()
+    client = cluster.client()
+    key = b"route-me"
+    cohort = cluster.partitioner.cohort_for_key(key_of(key))
+    # Poison the cache with a follower.
+    leader = cluster.leader_of(cohort.cohort_id)
+    wrong = next(m for m in cohort.members if m != leader)
+    client._leader_cache[cohort.cohort_id] = wrong
+
+    def scenario():
+        yield from client.put(key, b"c", b"v")
+
+    run(cluster, scenario())
+    assert client._leader_cache[cohort.cohort_id] == leader
+    assert client.retries >= 1
+
+
+def test_strong_read_follows_hint_not_blind_cycling():
+    cluster = make_cluster()
+    client = cluster.client()
+    key = b"hint-key"
+    cohort = cluster.partitioner.cohort_for_key(key_of(key))
+    leader = cluster.leader_of(cohort.cohort_id)
+    followers = [m for m in cohort.members if m != leader]
+    client._leader_cache[cohort.cohort_id] = followers[0]
+
+    def scenario():
+        yield from client.put(key, b"c", b"v")
+        return (yield from client.get(key, b"c", consistent=True))
+
+    got = run(cluster, scenario())
+    assert got.value == b"v"
+
+
+def test_timeline_reads_are_spread_across_replicas():
+    cluster = make_cluster()
+    client = cluster.client()
+    key = b"spread"
+    cohort = cluster.partitioner.cohort_for_key(key_of(key))
+
+    def scenario():
+        yield from client.put(key, b"c", b"v")
+        # Let commit messages reach followers.
+        return True
+
+    run(cluster, scenario())
+    cluster.run(1.0)
+    served_before = {m: sum(r.reads_served for r in
+                            cluster.nodes[m].replicas.values())
+                     for m in cohort.members}
+
+    def read_many():
+        for _ in range(60):
+            yield from client.get(key, b"c", consistent=False)
+
+    run(cluster, read_many())
+    served = {m: sum(r.reads_served for r in
+                     cluster.nodes[m].replicas.values())
+              - served_before[m] for m in cohort.members}
+    assert all(count > 0 for count in served.values()), served
+
+
+def test_request_timeout_when_whole_cohort_down():
+    cluster = make_cluster(client_op_timeout=2.0)
+    client = cluster.client()
+    key = b"doomed"
+    cohort = cluster.partitioner.cohort_for_key(key_of(key))
+    for member in cohort.members:
+        cluster.crash_node(member)
+
+    def scenario():
+        try:
+            yield from client.put(key, b"c", b"v")
+            return "ok"
+        except RequestTimeout:
+            return "timeout"
+
+    assert run(cluster, scenario(), limit=30.0) == "timeout"
+
+
+def test_version_mismatch_not_retried():
+    cluster = make_cluster()
+    client = cluster.client()
+
+    def scenario():
+        yield from client.put(b"vm", b"c", b"v1")
+        retries_before = client.retries
+        try:
+            yield from client.conditional_put(b"vm", b"c", b"v2", 42)
+        except VersionMismatch:
+            pass
+        return client.retries - retries_before
+
+    assert run(cluster, scenario()) == 0  # a logical error, not transient
+
+
+def test_multi_column_conditional_put_all_or_nothing():
+    cluster = make_cluster()
+    client = cluster.client()
+
+    def scenario():
+        yield from client.put_columns(b"row", {b"a": b"1", b"b": b"2"})
+        try:
+            yield from client.conditional_put_columns(
+                b"row", {b"a": b"10", b"b": b"20"},
+                {b"a": 1, b"b": 99})      # second guard is stale
+        except VersionMismatch:
+            pass
+        return (yield from client.get_row(b"row", [b"a", b"b"],
+                                          consistent=True))
+
+    row = run(cluster, scenario())
+    assert row[b"a"].value == b"1" and row[b"b"].value == b"2"
+
+
+def test_ops_counted():
+    cluster = make_cluster()
+    client = cluster.client()
+
+    def scenario():
+        yield from client.put(b"n", b"c", b"v")
+        yield from client.get(b"n", b"c", consistent=True)
+        yield from client.delete(b"n", b"c")
+
+    run(cluster, scenario())
+    assert client.ops_completed == 3

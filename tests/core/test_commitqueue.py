@@ -1,0 +1,119 @@
+"""Tests for the commit queue (§4.1): LSN-ordered quorum commits."""
+
+from repro.core.commitqueue import CommitQueue
+from repro.storage.lsn import LSN
+from repro.storage.records import WriteRecord
+
+
+def wrec(seq, key=b"k", col=b"c", epoch=1):
+    return WriteRecord(lsn=LSN(epoch, seq), cohort_id=0, key=key,
+                       colname=col, value=b"v", version=seq)
+
+
+def test_commit_requires_force_and_ack():
+    q = CommitQueue(acks_needed=1)
+    q.add(wrec(1))
+    assert q.advance_leader() == []
+    q.mark_forced(LSN(1, 1))
+    assert q.advance_leader() == []          # no ack yet
+    q.add_ack(LSN(1, 1), "f1")
+    committed = q.advance_leader()
+    assert [r.lsn.seq for r in committed] == [1]
+    assert q.committed_lsn == LSN(1, 1)
+
+
+def test_commits_strictly_in_lsn_order():
+    q = CommitQueue(acks_needed=1)
+    for seq in (1, 2, 3):
+        q.add(wrec(seq))
+        q.mark_forced(LSN(1, seq))
+    # Write 2 and 3 are ready, but 1 is not: nothing commits.
+    q.add_ack(LSN(1, 2), "f1")
+    q.add_ack(LSN(1, 3), "f1")
+    assert q.advance_leader() == []
+    q.add_ack(LSN(1, 1), "f1")
+    assert [r.lsn.seq for r in q.advance_leader()] == [1, 2, 3]
+
+
+def test_cumulative_ack_covers_earlier_writes():
+    q = CommitQueue(acks_needed=1)
+    for seq in (1, 2, 3):
+        q.add(wrec(seq))
+        q.mark_forced(LSN(1, seq))
+    q.add_ack_upto(LSN(1, 2), "f1")
+    assert [r.lsn.seq for r in q.advance_leader()] == [1, 2]
+    assert LSN(1, 3) in q
+
+
+def test_acks_needed_two():
+    q = CommitQueue(acks_needed=2)
+    q.add(wrec(1))
+    q.mark_forced(LSN(1, 1))
+    q.add_ack(LSN(1, 1), "f1")
+    assert q.advance_leader() == []
+    q.add_ack(LSN(1, 1), "f1")  # duplicate from same follower: no
+    assert q.advance_leader() == []
+    q.add_ack(LSN(1, 1), "f2")
+    assert len(q.advance_leader()) == 1
+
+
+def test_on_commit_callbacks_fire_in_order():
+    q = CommitQueue(acks_needed=1)
+    fired = []
+    for seq in (1, 2):
+        q.add(wrec(seq), on_commit=lambda r: fired.append(r.lsn.seq))
+        q.mark_forced(LSN(1, seq))
+    q.add_ack_upto(LSN(1, 2), "f1")
+    q.advance_leader()
+    assert fired == [1, 2]
+
+
+def test_add_is_idempotent_by_lsn():
+    q = CommitQueue()
+    first = q.add(wrec(1))
+    second = q.add(wrec(1))
+    assert first is second
+    assert len(q) == 1
+
+
+def test_follower_apply_commit_pops_prefix():
+    q = CommitQueue()
+    for seq in (1, 2, 3):
+        q.add(wrec(seq))
+    committed = q.apply_commit(LSN(1, 2))
+    assert [r.lsn.seq for r in committed] == [1, 2]
+    assert q.committed_lsn == LSN(1, 2)
+    assert len(q) == 1
+
+
+def test_apply_commit_advances_watermark_even_when_empty():
+    q = CommitQueue()
+    q.apply_commit(LSN(1, 9))
+    assert q.committed_lsn == LSN(1, 9)
+
+
+def test_drop_removes_discarded_write():
+    q = CommitQueue()
+    q.add(wrec(1))
+    q.add(wrec(2))
+    dropped = q.drop(LSN(1, 2))
+    assert dropped.lsn == LSN(1, 2)
+    assert q.pending_lsns() == [LSN(1, 1)]
+    assert q.drop(LSN(1, 99)) is None
+
+
+def test_latest_pending_for_column():
+    q = CommitQueue()
+    q.add(wrec(1, key=b"a"))
+    q.add(wrec(2, key=b"a"))
+    q.add(wrec(3, key=b"b"))
+    latest = q.latest_pending_for(b"a", b"c")
+    assert latest.lsn == LSN(1, 2)
+    assert q.latest_pending_for(b"zz", b"c") is None
+
+
+def test_clear_empties_queue():
+    q = CommitQueue()
+    q.add(wrec(1))
+    q.clear()
+    assert len(q) == 0

@@ -1,0 +1,74 @@
+"""Property tests on the commit queue: LSN-ordered, prefix-closed commits
+no matter how forces and acks interleave."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commitqueue import CommitQueue
+from repro.storage.lsn import LSN
+from repro.storage.records import WriteRecord
+
+
+def wrec(seq):
+    return WriteRecord(lsn=LSN(1, seq), cohort_id=0, key=b"k",
+                       colname=b"c", value=b"v", version=seq)
+
+
+@given(st.integers(min_value=1, max_value=12), st.data())
+@settings(max_examples=150)
+def test_commits_always_form_a_prefix(n, data):
+    """Add n writes, then force/ack them in arbitrary order: after every
+    step, the committed set is exactly a prefix of the LSN sequence."""
+    queue = CommitQueue(acks_needed=1)
+    committed = []
+    for seq in range(1, n + 1):
+        queue.add(wrec(seq), on_commit=lambda r: committed.append(
+            r.lsn.seq))
+    events = ([("force", seq) for seq in range(1, n + 1)]
+              + [("ack", seq) for seq in range(1, n + 1)])
+    order = data.draw(st.permutations(events))
+    for kind, seq in order:
+        if kind == "force":
+            queue.mark_forced(LSN(1, seq))
+        else:
+            queue.add_ack(LSN(1, seq), "f1")
+        queue.advance_leader()
+        assert committed == list(range(1, len(committed) + 1))
+    assert committed == list(range(1, n + 1))
+    assert queue.committed_lsn == LSN(1, n)
+
+
+@given(st.integers(min_value=1, max_value=12), st.data())
+@settings(max_examples=100)
+def test_cumulative_acks_equivalent_to_individual(n, data):
+    """A single cumulative ack at the top LSN commits exactly what
+    individual acks for every LSN would."""
+    individual = CommitQueue(acks_needed=1)
+    cumulative = CommitQueue(acks_needed=1)
+    for seq in range(1, n + 1):
+        individual.add(wrec(seq))
+        cumulative.add(wrec(seq))
+        individual.mark_forced(LSN(1, seq))
+        cumulative.mark_forced(LSN(1, seq))
+    upto = data.draw(st.integers(min_value=1, max_value=n))
+    for seq in range(1, upto + 1):
+        individual.add_ack(LSN(1, seq), "f1")
+    cumulative.add_ack_upto(LSN(1, upto), "f1")
+    a = [r.lsn for r in individual.advance_leader()]
+    b = [r.lsn for r in cumulative.advance_leader()]
+    assert a == b
+    assert individual.committed_lsn == cumulative.committed_lsn
+
+
+@given(st.lists(st.integers(min_value=1, max_value=20), min_size=1,
+                max_size=15, unique=True), st.data())
+@settings(max_examples=100)
+def test_follower_apply_commit_is_prefix_closed(seqs, data):
+    queue = CommitQueue()
+    for seq in sorted(seqs):
+        queue.add(wrec(seq))
+    upto = data.draw(st.integers(min_value=0, max_value=25))
+    committed = queue.apply_commit(LSN(1, upto))
+    assert [r.lsn.seq for r in committed] == [s for s in sorted(seqs)
+                                              if s <= upto]
+    assert all(s > upto for s in
+               (lsn.seq for lsn in queue.pending_lsns()))

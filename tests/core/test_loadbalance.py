@@ -1,0 +1,186 @@
+"""Tests for graceful leadership transfer and rebalancing planning."""
+
+import pytest
+
+from repro.core import Role, SpinnakerCluster, SpinnakerConfig
+from repro.core.loadbalance import plan_rebalance, transfer_leadership
+from repro.core.partition import RangePartitioner, key_of
+from repro.sim.disk import DiskProfile
+from repro.sim.process import spawn
+
+
+def make_cluster(n=5, seed=41):
+    cfg = SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
+                          commit_period=0.2)
+    cluster = SpinnakerCluster(n_nodes=n, config=cfg, seed=seed)
+    cluster.start()
+    cluster.run(2.0)
+    return cluster
+
+
+def run(cluster, gen, limit=60.0):
+    proc = spawn(cluster.sim, gen)
+    cluster.run_until(lambda: proc.triggered, limit=limit, what="proc")
+    return proc.result()
+
+
+def cohort_keys(cluster, cohort_id, count):
+    keys, i = [], 0
+    while len(keys) < count:
+        key = b"lb-%d" % i
+        if cluster.partitioner.cohort_for_key(
+                key_of(key)).cohort_id == cohort_id:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def test_transfer_moves_leadership_without_data_loss():
+    cluster = make_cluster()
+    client = cluster.client()
+    cohort_id = 0
+    keys = cohort_keys(cluster, cohort_id, 8)
+
+    def before():
+        for key in keys[:4]:
+            yield from client.put(key, b"c", b"pre")
+
+    run(cluster, before())
+    old_leader = cluster.leader_of(cohort_id)
+    replica = cluster.replica(old_leader, cohort_id)
+    successor = replica.peers()[0]
+    ok = run(cluster, transfer_leadership(replica, successor))
+    assert ok is True
+    cluster.run_until(lambda: cluster.leader_of(cohort_id) == successor,
+                      limit=30.0, what="handoff")
+    assert cluster.replica(successor, cohort_id).open_for_writes
+    assert replica.role == Role.FOLLOWER
+
+    def after():
+        out = []
+        for key in keys[:4]:
+            out.append((yield from client.get(key, b"c",
+                                              consistent=True)))
+        for key in keys[4:]:
+            yield from client.put(key, b"c", b"post")
+        return out
+
+    results = run(cluster, after())
+    assert all(r.found and r.value == b"pre" for r in results)
+    assert cluster.all_failures() == []
+    # Old leader never died: it serves as a follower now.
+    assert cluster.nodes[old_leader].alive
+
+
+def test_transfer_bumps_epoch():
+    cluster = make_cluster()
+    cohort_id = 1
+    old_leader = cluster.leader_of(cohort_id)
+    replica = cluster.replica(old_leader, cohort_id)
+    epoch_before = replica.epoch
+    successor = replica.peers()[0]
+    assert run(cluster, transfer_leadership(replica, successor))
+    cluster.run_until(lambda: cluster.leader_of(cohort_id) == successor,
+                      limit=30.0, what="handoff")
+    assert cluster.replica(successor, cohort_id).epoch > epoch_before
+
+
+def test_transfer_refused_from_non_leader():
+    cluster = make_cluster()
+    cohort_id = 0
+    leader = cluster.leader_of(cohort_id)
+    follower = next(m for m in
+                    cluster.partitioner.cohort(cohort_id).members
+                    if m != leader)
+    replica = cluster.replica(follower, cohort_id)
+    assert run(cluster, transfer_leadership(replica, leader)) is False
+
+
+def test_transfer_refused_to_non_member():
+    cluster = make_cluster()
+    cohort_id = 0
+    leader = cluster.leader_of(cohort_id)
+    replica = cluster.replica(leader, cohort_id)
+    outsider = next(n for n in cluster.nodes
+                    if n not in replica.cohort.members)
+    assert run(cluster, transfer_leadership(replica, outsider)) is False
+    assert cluster.leader_of(cohort_id) == leader
+
+
+def test_transfer_to_dead_successor_fails_cleanly():
+    cluster = make_cluster()
+    cohort_id = 2
+    leader = cluster.leader_of(cohort_id)
+    replica = cluster.replica(leader, cohort_id)
+    victim = replica.peers()[0]
+    cluster.crash_node(victim)
+    assert run(cluster, transfer_leadership(replica, victim)) is False
+    assert cluster.leader_of(cohort_id) == leader
+    assert replica.open_for_writes
+
+
+def test_plan_rebalance_restores_one_leader_per_node():
+    part = RangePartitioner(["A", "B", "C", "D", "E"])
+    # After a failure of A, B picked up A's cohort: B leads 0 and 1.
+    leaders = {0: "B", 1: "B", 2: "C", 3: "D", 4: "E"}
+    moves = plan_rebalance(part, leaders)
+    assert len(moves) == 1
+    cohort_id, src, dst = moves[0]
+    assert src == "B"
+    assert dst in part.cohort(cohort_id).members
+    # Apply: everyone leads exactly one cohort.
+    leaders[cohort_id] = dst
+    counts = {}
+    for leader in leaders.values():
+        counts[leader] = counts.get(leader, 0) + 1
+    assert all(count == 1 for count in counts.values())
+
+
+def test_plan_rebalance_noop_when_balanced():
+    part = RangePartitioner(["A", "B", "C", "D", "E"])
+    leaders = {0: "A", 1: "B", 2: "C", 3: "D", 4: "E"}
+    assert plan_rebalance(part, leaders) == []
+
+
+def test_plan_rebalance_skips_leaderless_cohorts():
+    part = RangePartitioner(["A", "B", "C", "D", "E"])
+    leaders = {0: "B", 1: "B", 2: None, 3: "D", 4: "E"}
+    moves = plan_rebalance(part, leaders)
+    assert all(cid != 2 for cid, _s, _d in moves)
+
+
+def test_end_to_end_rebalance_after_failover():
+    """Kill a leader, let another node absorb its cohort, then rebalance
+    back to one leader per live node."""
+    cluster = make_cluster()
+    cohort_id = 0
+    victim = cluster.leader_of(cohort_id)
+    cluster.kill_leader(cohort_id)
+    cluster.run_until(lambda: cluster.leader_of(cohort_id) is not None,
+                      limit=30.0, what="failover")
+    cluster.restart_node(victim)
+    replica_v = cluster.replica(victim, cohort_id)
+    cluster.run_until(lambda: replica_v.role == Role.FOLLOWER,
+                      limit=30.0, what="victim rejoined")
+    cluster.run(1.0)
+    leaders = {c.cohort_id: cluster.leader_of(c.cohort_id)
+               for c in cluster.partitioner.cohorts}
+    counts = {}
+    for leader in leaders.values():
+        counts[leader] = counts.get(leader, 0) + 1
+    assert max(counts.values()) == 2  # somebody leads two cohorts
+    moves = plan_rebalance(cluster.partitioner, leaders)
+    assert moves
+    for moved_cohort, src, dst in moves:
+        replica = cluster.replica(src, moved_cohort)
+        assert run(cluster, transfer_leadership(replica, dst)) is True
+        cluster.run_until(
+            lambda: cluster.leader_of(moved_cohort) == dst,
+            limit=30.0, what="rebalance handoff")
+    leaders = {c.cohort_id: cluster.leader_of(c.cohort_id)
+               for c in cluster.partitioner.cohorts}
+    counts = {}
+    for leader in leaders.values():
+        counts[leader] = counts.get(leader, 0) + 1
+    assert max(counts.values()) == 1
+    assert cluster.all_failures() == []

@@ -1,0 +1,145 @@
+"""Tests for the Figure 1 master-slave scenario (§1.1)."""
+
+import pytest
+
+from repro.core.masterslave import MasterSlavePair, MSUnavailable
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.process import spawn
+from repro.sim.rng import RngRegistry
+
+
+def make_pair(policy="safe"):
+    sim = Simulator()
+    net = Network(sim, RngRegistry(5))
+    return sim, MasterSlavePair(sim, net, RngRegistry(6), policy=policy)
+
+
+def run(sim, gen, limit=30.0):
+    proc = spawn(sim, gen)
+    sim.run(until=sim.now + limit)
+    assert proc.triggered
+    return proc.result()
+
+
+def test_normal_write_replicates_to_both():
+    sim, pair = make_pair()
+
+    def scenario():
+        lsn = yield from pair.write(b"k", b"v")
+        return lsn
+
+    assert run(sim, scenario()) == 1
+    assert pair.master.state[b"k"] == b"v"
+    assert pair.slave.state[b"k"] == b"v"
+    assert pair.master.last_lsn == pair.slave.last_lsn == 1
+
+
+def test_master_continues_when_slave_down():
+    sim, pair = make_pair()
+
+    def scenario():
+        yield from pair.write(b"a", b"1")
+        pair.slave.crash()
+        yield from pair.write(b"b", b"2")
+        return pair.read(b"b")
+
+    assert run(sim, scenario()) == b"2"
+    assert pair.master.last_lsn == 2
+    assert pair.slave.last_lsn == 1
+
+
+def test_figure_1_sequence_makes_pair_unavailable():
+    """(a) both at LSN 10; (b) slave down; (c) master continues to 20
+    then dies; (d) slave returns — and must not serve."""
+    sim, pair = make_pair(policy="safe")
+
+    def scenario():
+        for i in range(10):                       # (a) LSN 1..10
+            yield from pair.write(b"k%d" % i, b"x")
+        pair.slave.crash()                        # (b)
+        for i in range(10, 20):                   # (c) LSN 11..20
+            yield from pair.write(b"k%d" % i, b"x")
+        pair.master.crash()
+        pair.slave.restart()                      # (d)
+        return pair.available_for_writes()
+
+    assert run(sim, scenario()) is False
+    assert pair.master.last_lsn == 20
+    assert pair.slave.last_lsn == 10
+    with pytest.raises(MSUnavailable):
+        pair.read(b"k15")
+
+
+def test_unsafe_policy_loses_committed_writes():
+    sim, pair = make_pair(policy="unsafe")
+
+    def scenario():
+        for i in range(10):
+            yield from pair.write(b"k%d" % i, b"x")
+        pair.slave.crash()
+        for i in range(10, 20):
+            yield from pair.write(b"k%d" % i, b"x")
+        pair.master.crash()                       # permanent, say
+        pair.slave.restart()
+        # Unsafe slave serves; committed writes 11..20 are gone.
+        return pair.available_for_writes(), pair.read(b"k15")
+
+    available, stale = run(sim, scenario())
+    assert available is True
+    assert stale is None                 # committed write invisible
+    assert pair.lost_writes() == list(range(11, 21))
+
+
+def test_block_policy_never_loses_but_blocks_on_any_failure():
+    sim, pair = make_pair(policy="block")
+
+    def scenario():
+        yield from pair.write(b"a", b"1")
+        pair.slave.crash()
+        try:
+            yield from pair.write(b"b", b"2")
+            return "committed"
+        except MSUnavailable:
+            return "blocked"
+
+    assert run(sim, scenario()) == "blocked"
+    assert pair.lost_writes() == []
+
+
+def test_safe_slave_can_serve_if_it_never_went_down():
+    """Failover in the benign order (master dies first) is fine."""
+    sim, pair = make_pair(policy="safe")
+
+    def scenario():
+        yield from pair.write(b"a", b"1")
+        pair.master.crash()
+        yield from pair.write(b"b", b"2")   # slave, in sync, takes over
+        return pair.read(b"b")
+
+    assert run(sim, scenario()) == b"2"
+    assert pair.lost_writes() == []
+
+
+def test_recovered_master_knows_it_may_be_stale():
+    sim, pair = make_pair(policy="safe")
+
+    def scenario():
+        yield from pair.write(b"a", b"1")
+        pair.master.crash()
+        yield from pair.write(b"b", b"2")   # slave alone now
+        pair.slave.crash()
+        pair.master.restart()               # master missed LSN 2
+        return pair.available_for_writes()
+
+    # The restarted master is not in_sync either: with the 'safe' policy
+    # an unavailable window is the honest outcome here too.
+    sim_result = run(sim, scenario())
+    assert sim_result is False
+
+
+def test_bad_policy_rejected():
+    sim = Simulator()
+    net = Network(sim, RngRegistry(1))
+    with pytest.raises(ValueError):
+        MasterSlavePair(sim, net, RngRegistry(2), policy="wat")

@@ -1,0 +1,85 @@
+"""Tests for range partitioning and chained-declustering placement (§4)."""
+
+import pytest
+
+from repro.core.partition import KeyRange, RangePartitioner, key_of
+
+
+def test_five_node_layout_matches_paper_figure_2():
+    """Figure 2: node i's base range is replicated on the next 2 nodes."""
+    nodes = ["A", "B", "C", "D", "E"]
+    part = RangePartitioner(nodes, replication_factor=3, keyspace=1000)
+    assert len(part) == 5
+    assert part.cohort(0).members == ("A", "B", "C")
+    assert part.cohort(1).members == ("B", "C", "D")
+    assert part.cohort(4).members == ("E", "A", "B")
+    # Each node participates in exactly 3 cohorts.
+    for node in nodes:
+        assert len(part.cohorts_of_node(node)) == 3
+
+
+def test_ranges_tile_the_keyspace():
+    part = RangePartitioner([f"n{i}" for i in range(7)], keyspace=1000)
+    lo = 0
+    for cohort in part.cohorts:
+        assert cohort.key_range.lo == lo
+        lo = cohort.key_range.hi
+    assert lo == 1000
+
+
+def test_cohort_for_key_respects_ranges():
+    part = RangePartitioner(["A", "B", "C", "D"], keyspace=400)
+    assert part.cohort_for_key(0).cohort_id == 0
+    assert part.cohort_for_key(99).cohort_id == 0
+    assert part.cohort_for_key(100).cohort_id == 1
+    assert part.cohort_for_key(399).cohort_id == 3
+
+
+def test_uneven_keyspace_still_tiles():
+    part = RangePartitioner(["A", "B", "C"], keyspace=10)
+    sizes = [c.key_range.hi - c.key_range.lo for c in part.cohorts]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 1
+    for key in range(10):
+        cohort = part.cohort_for_key(key)
+        assert cohort.key_range.contains(key)
+
+
+def test_key_out_of_range_rejected():
+    part = RangePartitioner(["A", "B", "C"], keyspace=100)
+    with pytest.raises(ValueError):
+        part.cohort_for_key(100)
+    with pytest.raises(ValueError):
+        part.cohort_for_key(-1)
+
+
+def test_too_few_nodes_rejected():
+    with pytest.raises(ValueError):
+        RangePartitioner(["A", "B"], replication_factor=3)
+
+
+def test_peers_of_excludes_self():
+    part = RangePartitioner(["A", "B", "C", "D", "E"])
+    assert part.peers_of("B", 0) == ["A", "C"]
+
+
+def test_key_of_is_deterministic_and_in_keyspace():
+    assert key_of(b"hello") == key_of(b"hello")
+    assert key_of(b"hello") != key_of(b"world")
+    for i in range(100):
+        assert 0 <= key_of(b"key-%d" % i) < (1 << 32)
+
+
+def test_key_of_spreads_keys_across_cohorts():
+    part = RangePartitioner([f"n{i}" for i in range(10)])
+    hits = set()
+    for i in range(500):
+        hits.add(part.cohort_for_key(key_of(b"row-%d" % i)).cohort_id)
+    assert len(hits) == 10
+
+
+def test_key_range_str_and_contains():
+    kr = KeyRange(10, 20)
+    assert kr.contains(10) and kr.contains(19)
+    assert not kr.contains(20) and not kr.contains(9)
+    assert str(kr) == "[10,20)"

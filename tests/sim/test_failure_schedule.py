@@ -1,0 +1,83 @@
+"""Tests for the failure-injection scheduler."""
+
+from repro.sim.events import Simulator
+from repro.sim.failure import FailureSchedule
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+
+class FakeNode:
+    def __init__(self, name):
+        self.name = name
+        self.alive = True
+        self.disk_ok = True
+
+    def crash(self):
+        self.alive = False
+
+    def restart(self):
+        self.alive = True
+
+    def lose_disk(self):
+        self.alive = False
+        self.disk_ok = False
+
+
+def test_crash_and_restart_at_times():
+    sim = Simulator()
+    node = FakeNode("n1")
+    sched = FailureSchedule(sim)
+    sched.crash_at(5.0, node)
+    sched.restart_at(8.0, node)
+    sim.run(until=4.0)
+    assert node.alive
+    sim.run(until=6.0)
+    assert not node.alive
+    sim.run(until=9.0)
+    assert node.alive
+    assert [(t, label) for t, label in sched.log] == [
+        (5.0, "crash n1"), (8.0, "restart n1")]
+
+
+def test_crash_for_is_crash_plus_restart():
+    sim = Simulator()
+    node = FakeNode("n2")
+    sched = FailureSchedule(sim)
+    sched.crash_for(2.0, duration=3.0, target=node)
+    sim.run(until=3.0)
+    assert not node.alive
+    sim.run(until=6.0)
+    assert node.alive
+
+
+def test_lose_disk_action():
+    sim = Simulator()
+    node = FakeNode("n3")
+    sched = FailureSchedule(sim)
+    sched.lose_disk_at(1.0, node)
+    sim.run()
+    assert not node.disk_ok
+    assert sched.log[0][1] == "lose-disk n3"
+
+
+def test_partition_and_heal_via_schedule():
+    sim = Simulator()
+    net = Network(sim, RngRegistry(4))
+    net.endpoint("a")
+    net.endpoint("b")
+    sched = FailureSchedule(sim)
+    sched.partition_at(1.0, net, "a", "b")
+    sched.heal_at(3.0, net)
+    sim.run(until=2.0)
+    assert net.is_blocked("a", "b")
+    sim.run(until=4.0)
+    assert not net.is_blocked("a", "b")
+
+
+def test_custom_labels_in_log():
+    sim = Simulator()
+    node = FakeNode("ugly-internal-name")
+    sched = FailureSchedule(sim)
+    sched.crash_at(1.0, node, label="the-leader")
+    sim.run()
+    assert sched.log == [(1.0, "crash the-leader")]

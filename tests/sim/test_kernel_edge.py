@@ -1,0 +1,130 @@
+"""Edge cases of the simulation kernel: priorities, deep chains,
+process interplay with resources and the network."""
+
+import pytest
+
+from repro.sim.events import Event, Simulator, NORMAL, URGENT
+from repro.sim.process import (ProcessKilled, all_of, any_of, spawn,
+                               timeout)
+from repro.sim.resources import Resource, serve
+
+
+def test_urgent_runs_before_normal_at_same_time():
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, lambda: order.append("normal"), priority=NORMAL)
+    sim.schedule(1.0, lambda: order.append("urgent"), priority=URGENT)
+    sim.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_event_triggered_during_callback_cascade():
+    sim = Simulator()
+    chain = []
+    events = [Event(sim) for _ in range(5)]
+    for i, ev in enumerate(events[:-1]):
+        nxt = events[i + 1]
+        ev.add_callback(lambda _e, n=nxt, i=i: (chain.append(i),
+                                                n.succeed()))
+    events[0].succeed()
+    assert chain == [0, 1, 2, 3]
+
+
+def test_process_chain_of_immediate_events():
+    """Yielding many already-triggered events must not blow the stack."""
+    sim = Simulator()
+
+    def worker():
+        total = 0
+        for _ in range(150):
+            ev = Event(sim)
+            ev.succeed(1)
+            total += yield ev
+        return total
+
+    proc = spawn(sim, worker())
+    sim.run()
+    assert proc.result() == 150
+
+
+def test_process_returning_immediately():
+    sim = Simulator()
+
+    def instant():
+        return 42
+        yield  # pragma: no cover - makes it a generator
+
+    proc = spawn(sim, instant())
+    sim.run()
+    assert proc.result() == 42
+
+
+def test_all_of_with_one_failure_fails():
+    sim = Simulator()
+    good = timeout(sim, 1.0, "ok")
+    bad = Event(sim)
+    cond = all_of(sim, [good, bad])
+    sim.schedule(0.5, lambda: bad.fail(RuntimeError("boom")))
+    sim.run()
+    assert cond.triggered and not cond.ok
+
+
+def test_any_of_ignores_late_failures():
+    sim = Simulator()
+    fast = timeout(sim, 0.5, "fast")
+    slow = Event(sim)
+    cond = any_of(sim, [fast, slow])
+    sim.schedule(1.0, lambda: slow.fail(RuntimeError("late")))
+    sim.run()
+    assert cond.ok
+    assert cond.result() == (0, "fast")
+
+
+def test_killed_process_releases_resource_exactly_once():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    finished = []
+
+    def holder():
+        yield from serve(cpu, 10.0)
+
+    def waiter():
+        yield from serve(cpu, 0.5)
+        finished.append(sim.now)
+
+    proc = spawn(sim, holder())
+    spawn(sim, waiter())
+    sim.schedule(1.0, lambda: proc.interrupt("kill"))
+    sim.run()
+    assert isinstance(proc.exception, ProcessKilled)
+    assert finished == [1.5]
+    assert cpu.in_use == 0
+
+
+def test_interrupt_race_with_completion_same_instant():
+    sim = Simulator()
+
+    def quick():
+        yield timeout(sim, 1.0)
+        return "done"
+
+    proc = spawn(sim, quick())
+    # Schedule the interrupt at exactly the completion time; either the
+    # process finished first (ok) or it was killed — but never both, and
+    # never a crash.
+    sim.schedule(1.0, lambda: proc.interrupt("race"))
+    sim.run()
+    assert proc.triggered
+    assert proc.ok or isinstance(proc.exception, ProcessKilled)
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def worker():
+        value = yield timeout(sim, 0.5, value={"payload": 1})
+        return value
+
+    proc = spawn(sim, worker())
+    sim.run()
+    assert proc.result() == {"payload": 1}

@@ -1,0 +1,157 @@
+"""Tests for the simulated network: ordering, RPC, crashes, partitions."""
+
+import pytest
+
+from repro.sim.events import Simulator
+from repro.sim.network import LatencyModel, Network, RpcTimeout
+from repro.sim.process import spawn, timeout
+from repro.sim.rng import RngRegistry
+
+
+def make_net(jitter=30e-6):
+    sim = Simulator()
+    net = Network(sim, RngRegistry(7), LatencyModel(jitter=jitter))
+    return sim, net
+
+
+def test_one_way_message_is_delivered_with_latency():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append((req.src, req.payload, sim.now)))
+    a.send("b", "hello", size=4096)
+    sim.run()
+    assert len(got) == 1
+    src, payload, when = got[0]
+    assert (src, payload) == ("a", "hello")
+    assert when > 0.0
+
+
+def test_fifo_per_pair_even_with_jitter():
+    sim, net = make_net(jitter=5e-3)  # huge jitter to tempt reordering
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append(req.payload))
+    for i in range(50):
+        a.send("b", i)
+    sim.run()
+    assert got == list(range(50))
+
+
+def test_request_reply_round_trip():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    b.on_request(lambda req: req.respond(req.payload * 2))
+    results = []
+
+    def client():
+        value = yield a.request("b", 21)
+        results.append((value, sim.now))
+
+    spawn(sim, client())
+    sim.run()
+    assert results[0][0] == 42
+    assert results[0][1] > 0.0
+
+
+def test_request_timeout_fires_when_dest_dead():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    b.on_request(lambda req: None)  # never responds
+    outcomes = []
+
+    def client():
+        try:
+            yield a.request("b", "ping", timeout=0.5)
+            outcomes.append("replied")
+        except RpcTimeout:
+            outcomes.append("timeout")
+
+    spawn(sim, client())
+    sim.run()
+    assert outcomes == ["timeout"]
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_message_to_crashed_endpoint_is_dropped():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append(req.payload))
+    b.crash()
+    a.send("b", "lost")
+    sim.run()
+    assert got == []
+    assert net.messages_dropped == 1
+
+
+def test_crashed_endpoint_cannot_send():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append(req.payload))
+    a.crash()
+    a.send("b", "ghost")
+    sim.run()
+    assert got == []
+
+
+def test_restart_resumes_delivery():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append(req.payload))
+    b.crash()
+    a.send("b", "lost")
+    sim.run()
+    b.restart()
+    a.send("b", "found")
+    sim.run()
+    assert got == ["found"]
+
+
+def test_partition_blocks_both_directions_until_heal():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got_a, got_b = [], []
+    a.on_request(lambda req: got_a.append(req.payload))
+    b.on_request(lambda req: got_b.append(req.payload))
+    net.block("a", "b")
+    a.send("b", 1)
+    b.send("a", 2)
+    sim.run()
+    assert got_a == [] and got_b == []
+    net.heal()
+    a.send("b", 3)
+    sim.run()
+    assert got_b == [3]
+
+
+def test_reply_lost_if_requester_crashes_before_delivery():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    b.on_request(lambda req: req.respond("pong"))
+    ev = a.request("b", "ping")
+    # Crash the requester while the request is in flight.
+    sim.schedule(1e-5, a.crash)
+    sim.run()
+    assert not ev.triggered
+
+
+def test_larger_messages_take_longer():
+    sim, net = make_net(jitter=0.0)
+    a, b = net.endpoint("a"), net.endpoint("b")
+    arrivals = {}
+    b.on_request(lambda req: arrivals.setdefault(req.payload, sim.now))
+    c = net.endpoint("c")
+    c.on_request(lambda req: arrivals.setdefault(req.payload, sim.now))
+    a.send("b", "small", size=64)
+    a.send("c", "big", size=4 * 1024 * 1024)
+    sim.run()
+    assert arrivals["big"] > arrivals["small"]
+
+
+def test_unknown_endpoint_lookup_raises():
+    sim, net = make_net()
+    with pytest.raises(Exception):
+        net.get("nope")

@@ -1,0 +1,123 @@
+"""Tests for Resource (CPU model) and Store (queues)."""
+
+import pytest
+
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.resources import Resource, Store, serve
+from repro.sim.process import spawn, timeout
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    res.release()
+    assert r3.triggered
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    waiters = [res.request() for _ in range(3)]
+    res.release()
+    assert waiters[0].triggered and not waiters[1].triggered
+    res.release()
+    assert waiters[1].triggered and not waiters[2].triggered
+
+
+def test_release_without_request_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_zero_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_serve_charges_service_time_and_queues():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+    done = []
+
+    def job(name):
+        yield from serve(cpu, 1.0)
+        done.append((name, sim.now))
+
+    spawn(sim, job("a"))
+    spawn(sim, job("b"))
+    sim.run()
+    assert done == [("a", 1.0), ("b", 2.0)]
+
+
+def test_serve_parallel_with_multiple_cores():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=4)
+    done = []
+
+    def job(name):
+        yield from serve(cpu, 1.0)
+        done.append((name, sim.now))
+
+    for i in range(4):
+        spawn(sim, job(i))
+    sim.run()
+    assert [t for _, t in done] == [1.0] * 4
+
+
+def test_serve_releases_even_if_interrupted():
+    sim = Simulator()
+    cpu = Resource(sim, capacity=1)
+
+    def job():
+        yield from serve(cpu, 10.0)
+
+    proc = spawn(sim, job())
+    sim.schedule(1.0, lambda: proc.interrupt())
+    sim.run()
+    assert not proc.ok  # unhandled interrupt
+    assert cpu.in_use == 0  # but the core was released
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    ev = store.get()
+    assert ev.triggered and ev.result() == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    spawn(sim, consumer())
+
+    def producer():
+        yield timeout(sim, 2.0)
+        store.put("y")
+
+    spawn(sim, producer())
+    sim.run()
+    assert got == [("y", 2.0)]
+
+
+def test_store_fifo_and_drain():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(3):
+        store.put(i)
+    assert len(store) == 3
+    assert store.drain() == [0, 1, 2]
+    assert len(store) == 0

@@ -1,0 +1,92 @@
+"""Tests for the memtable."""
+
+from repro.storage.lsn import LSN
+from repro.storage.memtable import Memtable, lsn_order, timestamp_order
+from repro.storage.records import WriteRecord
+
+
+def wrec(seq, key=b"k", col=b"c", value=b"v", version=None, ts=0.0,
+         tombstone=False):
+    return WriteRecord(lsn=LSN(1, seq), cohort_id=0, key=key, colname=col,
+                       value=value, version=version if version else seq,
+                       timestamp=ts, tombstone=tombstone)
+
+
+def test_apply_and_get():
+    mt = Memtable()
+    mt.apply(wrec(1, value=b"hello"))
+    cell = mt.get(b"k", b"c")
+    assert cell.value == b"hello"
+    assert cell.version == 1
+
+
+def test_newer_lsn_wins():
+    mt = Memtable()
+    mt.apply(wrec(1, value=b"old"))
+    mt.apply(wrec(2, value=b"new"))
+    assert mt.get(b"k", b"c").value == b"new"
+
+
+def test_reapply_older_is_idempotent():
+    mt = Memtable()
+    mt.apply(wrec(2, value=b"new"))
+    assert not mt.apply(wrec(1, value=b"old"))  # local recovery re-apply
+    assert mt.get(b"k", b"c").value == b"new"
+
+
+def test_timestamp_order_for_baseline():
+    mt = Memtable(order=timestamp_order)
+    mt.apply(wrec(5, value=b"early", ts=1.0))
+    mt.apply(wrec(2, value=b"late", ts=2.0))  # lower LSN, later timestamp
+    assert mt.get(b"k", b"c").value == b"late"
+
+
+def test_tombstone_is_stored():
+    mt = Memtable()
+    mt.apply(wrec(1, value=b"x"))
+    mt.apply(wrec(2, value=None, tombstone=True))
+    cell = mt.get(b"k", b"c")
+    assert cell.tombstone
+
+
+def test_lsn_bounds_track_min_and_max():
+    mt = Memtable()
+    mt.apply(wrec(5))
+    mt.apply(wrec(3, key=b"other"))
+    mt.apply(wrec(9, key=b"third"))
+    assert mt.min_lsn == LSN(1, 3)
+    assert mt.max_lsn == LSN(1, 9)
+
+
+def test_bytes_used_accounts_for_replacement():
+    mt = Memtable()
+    mt.apply(wrec(1, value=b"x" * 100))
+    after_first = mt.bytes_used
+    mt.apply(wrec(2, value=b"y" * 200))
+    assert mt.bytes_used == after_first + 100
+
+
+def test_sorted_items_are_key_then_column_ordered():
+    mt = Memtable()
+    mt.apply(wrec(1, key=b"b", col=b"z"))
+    mt.apply(wrec(2, key=b"a", col=b"y"))
+    mt.apply(wrec(3, key=b"b", col=b"a"))
+    items = [(k, c) for k, c, _ in mt.sorted_items()]
+    assert items == [(b"a", b"y"), (b"b", b"a"), (b"b", b"z")]
+
+
+def test_get_row_returns_all_columns():
+    mt = Memtable()
+    mt.apply(wrec(1, col=b"c1", value=b"v1"))
+    mt.apply(wrec(2, col=b"c2", value=b"v2"))
+    row = mt.get_row(b"k")
+    assert set(row) == {b"c1", b"c2"}
+
+
+def test_len_counts_cells():
+    mt = Memtable()
+    mt.apply(wrec(1, key=b"a"))
+    mt.apply(wrec(2, key=b"b"))
+    mt.apply(wrec(3, key=b"b", col=b"c2"))
+    assert len(mt) == 3
+    assert not mt.is_empty

@@ -1,0 +1,218 @@
+"""Tests for the shared write-ahead log: durability, skipped LSNs, GC."""
+
+import pytest
+
+from repro.sim.disk import DiskProfile, LogDevice
+from repro.sim.events import Simulator
+from repro.sim.rng import RngRegistry
+from repro.storage.lsn import LSN
+from repro.storage.records import CheckpointRecord, CommitMarker, WriteRecord
+from repro.storage.wal import DuplicateLSN, SharedLog, StaleLSN
+
+
+def wrec(epoch, seq, cohort=0, value=b"v"):
+    return WriteRecord(lsn=LSN(epoch, seq), cohort_id=cohort, key=b"k",
+                       colname=b"c", value=value, version=seq)
+
+
+def make_wal_with_device():
+    sim = Simulator()
+    device = LogDevice(sim, RngRegistry(5), "log",
+                       profile=DiskProfile("flat", 1e-3, 1e-3,
+                                           transfer_rate=0))
+    return sim, SharedLog(device)
+
+
+def test_append_and_query_last_lsn():
+    log = SharedLog()
+    log.append(wrec(1, 1))
+    log.append(wrec(1, 2))
+    assert log.last_lsn(0) == LSN(1, 2)
+    assert log.last_lsn(99) == LSN.zero()
+
+
+def test_duplicate_lsn_rejected():
+    log = SharedLog()
+    log.append(wrec(1, 1))
+    with pytest.raises(DuplicateLSN):
+        log.append(wrec(1, 1))
+
+
+def test_stale_lsn_rejected():
+    log = SharedLog()
+    log.append(wrec(1, 5))
+    with pytest.raises(StaleLSN):
+        log.append(wrec(1, 3))
+
+
+def test_cohorts_have_independent_lsn_streams():
+    log = SharedLog()
+    log.append(wrec(1, 5, cohort=0))
+    log.append(wrec(1, 1, cohort=1))  # fine: different logical stream
+    assert log.last_lsn(0) == LSN(1, 5)
+    assert log.last_lsn(1) == LSN(1, 1)
+
+
+def test_commit_marker_advances_last_committed():
+    log = SharedLog()
+    log.append(wrec(1, 1))
+    log.append(wrec(1, 2))
+    log.append(CommitMarker(lsn=LSN(1, 2), cohort_id=0,
+                            committed_lsn=LSN(1, 2)), force=False)
+    assert log.last_committed_lsn(0) == LSN(1, 2)
+
+
+def test_checkpoint_record_advances_checkpoint():
+    log = SharedLog()
+    log.append(CheckpointRecord(lsn=LSN(1, 9), cohort_id=0,
+                                checkpoint_lsn=LSN(1, 7)), force=False)
+    assert log.checkpoint_lsn(0) == LSN(1, 7)
+
+
+def test_write_records_range_query():
+    log = SharedLog()
+    for seq in range(1, 6):
+        log.append(wrec(1, seq))
+    recs = log.write_records(0, after=LSN(1, 2), upto=LSN(1, 4))
+    assert [r.lsn.seq for r in recs] == [3, 4]
+
+
+def test_skipped_lsns_are_invisible_by_default():
+    log = SharedLog()
+    for seq in range(1, 4):
+        log.append(wrec(1, seq))
+    log.add_skipped(0, [LSN(1, 3)])
+    assert log.last_lsn(0) == LSN(1, 2)
+    assert [r.lsn.seq for r in log.write_records(0)] == [1, 2]
+    assert [r.lsn.seq
+            for r in log.write_records(0, include_skipped=True)] == [1, 2, 3]
+    assert log.is_skipped(0, LSN(1, 3))
+
+
+def test_append_after_logical_truncation_uses_new_epoch():
+    # Appendix B, node C: 1.22 is skipped, then epoch-2 records arrive.
+    log = SharedLog()
+    for seq in range(1, 23):
+        log.append(wrec(1, seq))
+    log.add_skipped(0, [LSN(1, 22)])
+    assert log.last_lsn(0) == LSN(1, 21)
+    log.append(wrec(2, 22))
+    assert log.last_lsn(0) == LSN(2, 22)
+
+
+def test_crash_loses_volatile_records():
+    sim, log = make_wal_with_device()
+    ev1 = log.append(wrec(1, 1))
+    sim.run()  # first record becomes durable
+    assert ev1.ok
+    log.append(wrec(1, 2))  # never forced to completion
+    log.device.crash()
+    log.crash()
+    assert log.last_lsn(0) == LSN(1, 1)
+    assert not log.contains(0, LSN(1, 2))
+
+
+def test_nonforced_marker_becomes_durable_with_later_force():
+    sim, log = make_wal_with_device()
+    log.append(wrec(1, 1))
+    sim.run()
+    log.append(CommitMarker(lsn=LSN(1, 1), cohort_id=0,
+                            committed_lsn=LSN(1, 1)), force=False)
+    log.append(wrec(1, 2))  # the force that carries the marker down
+    sim.run()
+    log.crash()
+    assert log.last_committed_lsn(0) == LSN(1, 1)
+
+
+def test_nonforced_marker_lost_without_later_force():
+    sim, log = make_wal_with_device()
+    log.append(wrec(1, 1))
+    sim.run()
+    log.append(CommitMarker(lsn=LSN(1, 1), cohort_id=0,
+                            committed_lsn=LSN(1, 1)), force=False)
+    log.device.crash()
+    log.crash()
+    assert log.last_committed_lsn(0) == LSN.zero()
+
+
+def test_crash_recomputes_committed_from_durable_prefix():
+    sim, log = make_wal_with_device()
+    log.append(wrec(1, 1))
+    log.append(CommitMarker(lsn=LSN(1, 1), cohort_id=0,
+                            committed_lsn=LSN(1, 1)), force=False)
+    log.append(wrec(1, 2))
+    sim.run()  # everything durable now
+    log.append(CommitMarker(lsn=LSN(1, 2), cohort_id=0,
+                            committed_lsn=LSN(1, 2)), force=False)
+    log.device.crash()
+    log.crash()
+    # The second marker was never carried down by a force.
+    assert log.last_committed_lsn(0) == LSN(1, 1)
+    assert log.last_lsn(0) == LSN(1, 2)
+
+
+def test_gc_through_drops_records_and_skips():
+    log = SharedLog()
+    for seq in range(1, 6):
+        log.append(wrec(1, seq))
+    log.add_skipped(0, [LSN(1, 2), LSN(1, 5)])
+    dropped = log.gc_through(0, LSN(1, 3))
+    assert dropped == 3
+    assert not log.can_serve_after(0, LSN(1, 2))
+    assert log.can_serve_after(0, LSN(1, 3))
+    assert log.skipped_lsns(0) == {LSN(1, 5)}
+    assert [r.lsn.seq for r in log.write_records(0)] == [4]
+
+
+def test_last_lsn_after_full_gc_is_horizon():
+    log = SharedLog()
+    for seq in range(1, 4):
+        log.append(wrec(1, seq))
+    log.gc_through(0, LSN(1, 3))
+    assert log.last_lsn(0) == LSN(1, 3)
+
+
+def test_wipe_clears_everything():
+    log = SharedLog()
+    log.append(wrec(1, 1))
+    log.wipe()
+    assert log.last_lsn(0) == LSN.zero()
+    assert log.write_records(0) == []
+
+
+def test_append_batch_all_or_nothing_durability():
+    sim, log = make_wal_with_device()
+    ev = log.append_batch([wrec(1, 1), wrec(1, 2), wrec(1, 3)])
+    # Crash before the single batch force completes: nothing survives.
+    sim.run(until=0.5e-3)
+    log.device.crash()
+    log.crash()
+    assert not ev.triggered
+    assert log.last_lsn(0) == LSN.zero()
+    assert log.write_records(0) == []
+
+
+def test_append_batch_durable_together():
+    sim, log = make_wal_with_device()
+    ev = log.append_batch([wrec(1, 1), wrec(1, 2)])
+    sim.run()
+    assert ev.ok
+    log.crash()  # nothing volatile: both survived
+    assert [r.lsn.seq for r in log.write_records(0)] == [1, 2]
+
+
+def test_append_batch_validates_like_append():
+    log = SharedLog()
+    log.append(wrec(1, 5))
+    with pytest.raises(StaleLSN):
+        log.append_batch([wrec(1, 3)])
+    with pytest.raises(DuplicateLSN):
+        log.append_batch([wrec(1, 6), wrec(1, 6)])
+    with pytest.raises(TypeError):
+        log.append_batch([CommitMarker(lsn=LSN(1, 9), cohort_id=0,
+                                       committed_lsn=LSN(1, 9))])
+
+
+def test_append_batch_empty_is_noop():
+    log = SharedLog()
+    assert log.append_batch([]) is None
