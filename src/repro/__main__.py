@@ -3,6 +3,9 @@
 ``python -m repro``            — overview + experiment list
 ``python -m repro bench ...``  — run experiments (see repro.bench.report)
 ``python -m repro demo``       — a 30-second guided failover demo
+``python -m repro chaos``      — randomized nemesis + invariant audit
+                                 (--seed N --duration S [--nodes K]
+                                 [--shrink]); same seed, same output
 """
 
 from __future__ import annotations
@@ -51,6 +54,46 @@ def _demo() -> None:
     print(tracer.format(since=t_kill))
 
 
+def _chaos(rest) -> int:
+    import argparse
+
+    from .chaos import (ChaosConfig, format_regression_test, run_chaos,
+                        shrink_run)
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Randomized nemesis with invariant auditing. "
+                    "Deterministic: the same seed and flags reproduce "
+                    "the run byte-for-byte.")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="storm length in simulated seconds")
+    parser.add_argument("--nodes", type=int, default=5)
+    parser.add_argument("--mean-fault-gap", type=float, default=2.0,
+                        help="MTTF budget (mean seconds between faults)")
+    parser.add_argument("--mean-repair", type=float, default=1.5,
+                        help="MTTR budget (mean outage seconds)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="on violation, minimize the schedule and "
+                             "print a regression test")
+    args = parser.parse_args(rest)
+    config = ChaosConfig(n_nodes=args.nodes, duration=args.duration,
+                         mean_fault_gap=args.mean_fault_gap,
+                         mean_repair=args.mean_repair)
+    report = run_chaos(args.seed, config)
+    print(report.format())
+    if report.ok:
+        return 0
+    if args.shrink:
+        print("\nshrinking the failing schedule...")
+        result = shrink_run(args.seed, config)
+        print(f"minimized {len(result.original)} -> "
+              f"{len(result.minimized)} events in "
+              f"{result.replays} replays\n")
+        print(format_regression_test(result))
+    return 1
+
+
 def main(argv) -> int:
     if not argv:
         _overview()
@@ -62,7 +105,9 @@ def main(argv) -> int:
     if command == "demo":
         _demo()
         return 0
-    print(f"unknown command {command!r}; try 'bench' or 'demo'")
+    if command == "chaos":
+        return _chaos(rest)
+    print(f"unknown command {command!r}; try 'bench', 'demo' or 'chaos'")
     return 2
 
 

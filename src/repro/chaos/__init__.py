@@ -1,0 +1,29 @@
+"""Randomized chaos testing for the Spinnaker reproduction.
+
+A Jepsen-style nemesis (:mod:`~repro.chaos.nemesis`) generates seeded
+random fault schedules — leader/follower crash-restarts, permanent disk
+loss, symmetric and one-directional partitions, latency spikes,
+message-drop bursts — and plays them against a live
+:class:`~repro.core.SpinnakerCluster` while a concurrent workload records
+a client-observed history.  An invariant auditor
+(:mod:`~repro.chaos.invariants`) checks cluster-wide safety properties
+during and after the storm, and :mod:`~repro.chaos.shrinker` minimizes a
+failing schedule to the shortest fault sequence that still violates an
+invariant.
+
+Every run is reproducible from ``(seed, config)`` — the whole stack sits
+on the deterministic simulation kernel — so ``python -m repro chaos
+--seed N`` twice prints byte-identical fault logs and audit reports.
+"""
+
+from .invariants import InvariantAuditor, InvariantViolation
+from .nemesis import (ChaosConfig, ChaosReport, FaultEvent,
+                      generate_schedule, replay_schedule, run_chaos)
+from .shrinker import ddmin, format_regression_test, shrink_run
+
+__all__ = [
+    "ChaosConfig", "ChaosReport", "FaultEvent",
+    "generate_schedule", "run_chaos", "replay_schedule",
+    "InvariantAuditor", "InvariantViolation",
+    "ddmin", "shrink_run", "format_regression_test",
+]

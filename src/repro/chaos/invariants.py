@@ -1,0 +1,186 @@
+"""Cluster-wide invariant auditing for chaos runs.
+
+The paper's safety claims, stated as machine-checkable invariants over a
+live :class:`~repro.core.SpinnakerCluster`:
+
+* **leader uniqueness** — at most one live, open-for-writes leader per
+  cohort *per epoch* (§7.2: the epoch counter is bumped through the
+  coordination service exactly once per takeover, so two leaders sharing
+  an epoch means the election protocol lost mutual exclusion);
+* **committed-LSN monotonicity** — within one node incarnation, a
+  replica's committed LSN never moves backwards (a restart legitimately
+  resets it before recovery rebuilds the prefix);
+* **log-prefix matching** — after the storm settles, any two cohort
+  members agree record-for-record on the committed, still-retained part
+  of the log (Multi-Paxos log safety);
+* **integrity** — no handler process anywhere died of an unexpected
+  exception.
+
+The auditor runs as a periodic simulation process *during* the storm
+(leader uniqueness and monotonicity are point-in-time properties worth
+catching in the act) and once more after recovery for the whole-log
+checks.  Durability of acknowledged writes is checked by the runner,
+which owns the client history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.process import timeout
+from ..core.replication import Role
+
+__all__ = ["InvariantViolation", "InvariantAuditor"]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One invariant violation, stamped with simulated time."""
+
+    at: float
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[t={self.at:.4f}] {self.rule}: {self.detail}"
+
+
+class InvariantAuditor:
+    """Watches a cluster for invariant violations."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.violations: List[InvariantViolation] = []
+        self.ticks = 0
+        # (node, cohort) -> (incarnation, committed_lsn, epoch)
+        self._last_seen: Dict[Tuple[str, int], Tuple[int, object, int]] = {}
+
+    def _flag(self, rule: str, detail: str) -> None:
+        self.violations.append(
+            InvariantViolation(self.cluster.sim.now, rule, detail))
+
+    # ------------------------------------------------------------------
+    # Point-in-time checks (run repeatedly during the storm)
+    # ------------------------------------------------------------------
+    def audit_tick(self) -> None:
+        self.ticks += 1
+        self._check_leader_uniqueness()
+        self._check_lsn_monotonicity()
+
+    def _check_leader_uniqueness(self) -> None:
+        cluster = self.cluster
+        for cohort in cluster.partitioner.cohorts:
+            by_epoch: Dict[int, List[str]] = {}
+            for member in cohort.members:
+                node = cluster.nodes[member]
+                replica = node.replicas.get(cohort.cohort_id)
+                if (node.alive and replica is not None
+                        and replica.role == Role.LEADER
+                        and replica.open_for_writes):
+                    by_epoch.setdefault(replica.epoch, []).append(member)
+            for epoch, leaders in by_epoch.items():
+                if len(leaders) > 1:
+                    self._flag(
+                        "leader-uniqueness",
+                        f"cohort {cohort.cohort_id} epoch {epoch} has "
+                        f"{len(leaders)} open leaders: "
+                        f"{sorted(leaders)}")
+
+    def _check_lsn_monotonicity(self) -> None:
+        cluster = self.cluster
+        for name, node in cluster.nodes.items():
+            if not node.alive:
+                continue
+            for cohort_id, replica in node.replicas.items():
+                key = (name, cohort_id)
+                seen = self._last_seen.get(key)
+                now = (node.incarnation, replica.committed_lsn,
+                       replica.epoch)
+                if seen is not None and seen[0] == now[0]:
+                    if now[1] < seen[1]:
+                        self._flag(
+                            "committed-lsn-monotonicity",
+                            f"{name}/cohort {cohort_id} committed LSN "
+                            f"went backwards: {seen[1]} -> {now[1]} "
+                            f"within incarnation {now[0]}")
+                    if now[2] < seen[2]:
+                        self._flag(
+                            "epoch-monotonicity",
+                            f"{name}/cohort {cohort_id} epoch went "
+                            f"backwards: {seen[2]} -> {now[2]} within "
+                            f"incarnation {now[0]}")
+                self._last_seen[key] = now
+
+    # ------------------------------------------------------------------
+    # Whole-log checks (run once the cluster has healed and settled)
+    # ------------------------------------------------------------------
+    def final_audit(self) -> None:
+        self.audit_tick()
+        self._check_log_prefixes()
+        for failure in self.cluster.all_failures():
+            self._flag("integrity",
+                       f"handler process died: {failure!r}")
+
+    def _check_log_prefixes(self) -> None:
+        cluster = self.cluster
+        for cohort in cluster.partitioner.cohorts:
+            cid = cohort.cohort_id
+            live = [m for m in cohort.members if cluster.nodes[m].alive]
+            for i, a in enumerate(live):
+                for b in live[i + 1:]:
+                    self._compare_logs(cid, a, b)
+
+    def _compare_logs(self, cohort_id: int, a: str, b: str) -> None:
+        """Committed, retained log prefixes of ``a`` and ``b`` must agree
+        record-for-record (key, column, value, version)."""
+        cluster = self.cluster
+        node_a, node_b = cluster.nodes[a], cluster.nodes[b]
+        rep_a = node_a.replicas[cohort_id]
+        rep_b = node_b.replicas[cohort_id]
+        upto = min(rep_a.committed_lsn, rep_b.committed_lsn)
+        # Floor of the comparable window: rolled-over or checkpointed
+        # records left the log legitimately, and records below a node's
+        # catch-up floor arrived as shipped SSTables, never as log
+        # records (§6.1) — holes there are not divergence.
+        after = max(node_a.wal.min_retained_lsn(cohort_id),
+                    node_b.wal.min_retained_lsn(cohort_id),
+                    rep_a.engine.checkpoint_lsn,
+                    rep_b.engine.checkpoint_lsn,
+                    rep_a.catchup_floor, rep_b.catchup_floor)
+        if upto <= after:
+            return  # no overlapping committed window still in both logs
+        recs_a = {r.lsn: r for r in node_a.wal.write_records(
+            cohort_id, after=after, upto=upto)}
+        recs_b = {r.lsn: r for r in node_b.wal.write_records(
+            cohort_id, after=after, upto=upto)}
+        skipped = (node_a.wal.skipped_lsns(cohort_id)
+                   | node_b.wal.skipped_lsns(cohort_id))
+        for lsn in sorted(set(recs_a) | set(recs_b)):
+            if lsn in skipped:
+                continue
+            ra, rb = recs_a.get(lsn), recs_b.get(lsn)
+            if ra is None or rb is None:
+                missing = a if ra is None else b
+                self._flag(
+                    "log-prefix",
+                    f"cohort {cohort_id} committed record {lsn} missing "
+                    f"from {missing}'s log (peers {a}/{b})")
+            elif (ra.key, ra.colname, ra.value, ra.version,
+                  ra.tombstone) != (rb.key, rb.colname, rb.value,
+                                    rb.version, rb.tombstone):
+                self._flag(
+                    "log-prefix",
+                    f"cohort {cohort_id} logs diverge at {lsn}: "
+                    f"{a} has {ra.key!r}/{ra.colname!r} v{ra.version}, "
+                    f"{b} has {rb.key!r}/{rb.colname!r} v{rb.version}")
+
+    # ------------------------------------------------------------------
+    # The periodic audit process
+    # ------------------------------------------------------------------
+    def run(self, period: float = 0.25, until: float = float("inf")):
+        """Generator: audit every ``period`` seconds until ``until``."""
+        sim = self.cluster.sim
+        while sim.now < until:
+            self.audit_tick()
+            yield timeout(sim, period)

@@ -20,7 +20,7 @@ import itertools
 from typing import Callable, Dict, Optional
 
 from ..sim.events import Simulator
-from ..sim.network import Endpoint
+from ..sim.network import Endpoint, RpcTimeout
 from ..sim.process import Process, spawn, timeout
 from .service import SESSION_TIMEOUT_DEFAULT, error_from_code
 from .znode import CoordError, NoNodeError, WatchEvent
@@ -51,12 +51,23 @@ class CoordClient:
         self._watch_ids = itertools.count(1)
         self._heartbeater: Optional[Process] = None
         self._dispatch_installed = False
+        #: called once (with this client) when the session is lost — the
+        #: server said so, or heartbeats went unacked long enough that it
+        #: is about to expire us.  Spinnaker's leaders hang their leases
+        #: off this signal (§7.2): step down *before* a rival can win.
+        self.on_session_loss: Optional[Callable[["CoordClient"], None]] = None
+        self.last_ack = 0.0
 
     # ------------------------------------------------------------------
     # Session lifecycle
     # ------------------------------------------------------------------
-    def start(self):
-        """``yield from`` me: opens the session and starts heartbeats."""
+    def start(self, rpc_timeout: Optional[float] = None):
+        """``yield from`` me: opens the session and starts heartbeats.
+
+        ``rpc_timeout`` bounds the start-session RPC (callers that may be
+        partitioned from the service retry on :class:`RpcTimeout`)."""
+        if self.session is not None:   # idempotent under caller retries
+            return self.session
         if self.endpoint._handler is None:
             # Standalone use (tests, recipes): install a dispatcher that
             # consumes watch events.  Nodes with their own dispatcher must
@@ -65,8 +76,10 @@ class CoordClient:
                 lambda req: self.handle_watch_message(req.payload))
         reply = yield self.endpoint.request(
             self.service, {"op": "start-session",
-                           "timeout": self.session_timeout}, size=64)
+                           "timeout": self.session_timeout}, size=64,
+            timeout=rpc_timeout)
         self.session = self._unwrap(reply)
+        self.last_ack = self.sim.now
         self._heartbeater = spawn(
             self.sim, self._heartbeat_loop(),
             name=f"hb-{self.endpoint.name}")
@@ -94,14 +107,38 @@ class CoordClient:
     def _heartbeat_loop(self):
         from ..sim.process import Interrupt
         interval = self.session_timeout / 3.0
+        # Local lease deadline: the server expires us ``session_timeout``
+        # after the last heartbeat it *received*, which is no earlier
+        # than our last ack.  Declaring the session lost at half the
+        # timeout therefore always beats server-side expiry — a deposed
+        # leader steps down before a rival can be elected.
+        deadline = self.session_timeout / 2.0
         try:
             while True:
                 yield timeout(self.sim, interval)
-                self.endpoint.send(self.service,
-                                   {"op": "heartbeat",
-                                    "session": self.session}, size=48)
+                try:
+                    reply = yield self.endpoint.request(
+                        self.service,
+                        {"op": "heartbeat", "session": self.session},
+                        size=48, timeout=interval)
+                except RpcTimeout:
+                    reply = None
+                if isinstance(reply, dict) and reply.get("ok"):
+                    self.last_ack = self.sim.now
+                elif isinstance(reply, dict):
+                    self._session_lost()      # server: session expired
+                    return
+                if self.sim.now - self.last_ack > deadline:
+                    self._session_lost()      # lease ran out
+                    return
         except Interrupt:
             return
+
+    def _session_lost(self) -> None:
+        self._heartbeater = None   # we *are* it; don't self-interrupt
+        callback, self.on_session_loss = self.on_session_loss, None
+        if callback is not None:
+            callback(self)
 
     # ------------------------------------------------------------------
     # Watch plumbing

@@ -119,8 +119,10 @@ class CoordinationService:
         payload = req.payload
         op = payload.get("op")
         if op == "heartbeat":
-            # Heartbeats are one-way and bypass the request queue.
-            self._touch(payload.get("session"))
+            # Heartbeats bypass the request queue; the ack tells the
+            # client its session (lease) is still alive.
+            alive = self._touch(payload.get("session"))
+            req.respond({"ok": bool(alive)}, size=48)
             return
         spawn(self.sim, self._handle(req), name=f"coord-{op}")
 

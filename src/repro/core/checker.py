@@ -11,7 +11,10 @@ each key:
   write *acknowledged before the read began*;
 * **no time travel** — a strong read returns a version no newer than the
   number of writes *started before the read ended* (versions cannot come
-  from the future);
+  from the future).  A failed (timed-out) write is *indeterminate*: it —
+  or its client-level retries — may have committed anyway, so once one
+  has started, the ceiling for overlapping-or-later reads is unbounded
+  (the standard Jepsen treatment of info-result operations);
 * **real-time monotonicity** — for two non-overlapping strong reads,
   the later read never returns an older version.
 
@@ -81,6 +84,8 @@ def check_strong_history(history: HistoryRecorder) -> List[Violation]:
     for key in history.keys():
         ops = history.operations(key)
         writes = [op for op in ops if op.kind == "write" and op.ok]
+        failed_writes = [op for op in ops
+                         if op.kind == "write" and not op.ok]
         reads = sorted((op for op in ops if op.kind == "read" and op.ok),
                        key=lambda op: op.start)
         for read in reads:
@@ -91,6 +96,11 @@ def check_strong_history(history: HistoryRecorder) -> List[Violation]:
                     key, "recency",
                     f"read at [{read.start:.4f},{read.end:.4f}] returned "
                     f"version {read.version} < acknowledged {floor}"))
+            # An indeterminate (failed) write that already started may
+            # have committed any number of versions via retries, so the
+            # ceiling is only known when none is in play.
+            if any(w.start <= read.end for w in failed_writes):
+                continue
             started_before = [w for w in writes if w.start <= read.end]
             ceiling = max((w.version for w in started_before), default=0)
             if read.version > ceiling:
@@ -98,13 +108,24 @@ def check_strong_history(history: HistoryRecorder) -> List[Violation]:
                     key, "time-travel",
                     f"read returned version {read.version} but only "
                     f"{ceiling} writes had started"))
-        # Real-time monotonicity across non-overlapping reads.
-        for earlier, later in zip(reads, reads[1:]):
-            if earlier.end <= later.start \
-                    and later.version < earlier.version:
+        # Real-time monotonicity across *all* non-overlapping read pairs,
+        # not just adjacent ones: a stale read separated from its witness
+        # by an overlapping read in between must still be caught.  Sweep
+        # reads in start order, keeping the max version over every read
+        # already *ended* — O(n log n) instead of comparing all pairs.
+        by_end = sorted(reads, key=lambda op: op.end)
+        ended = 0
+        witness: Optional[_Op] = None
+        for read in reads:   # already sorted by start
+            while ended < len(by_end) and by_end[ended].end <= read.start:
+                if witness is None or by_end[ended].version > witness.version:
+                    witness = by_end[ended]
+                ended += 1
+            if witness is not None and read.version < witness.version:
                 violations.append(Violation(
                     key, "monotonicity",
-                    f"read ending {earlier.end:.4f} saw version "
-                    f"{earlier.version}, later read saw "
-                    f"{later.version}"))
+                    f"read ending {witness.end:.4f} saw version "
+                    f"{witness.version}, later read at "
+                    f"[{read.start:.4f},{read.end:.4f}] saw "
+                    f"{read.version}"))
     return violations

@@ -73,7 +73,9 @@ class SpinnakerNode:
         self.membership: Optional[GroupMembership] = None
         self.alive = False
         self.incarnation = 0
+        self.session_losses = 0
         self._procs: set = set()
+        self._monitors: List[Process] = []
         #: failures of handler processes that were NOT deliberate kills —
         #: tests assert this stays empty (protocol bugs surface here)
         self.failures: List[BaseException] = []
@@ -176,6 +178,7 @@ class SpinnakerNode:
         self.zk = CoordClient(self.sim, self.endpoint,
                               service=self.coord_name,
                               session_timeout=self.config.session_timeout)
+        self.zk.on_session_loss = self._on_session_loss
         self.spawn(self._startup(), "startup")
 
     def _startup(self):
@@ -187,9 +190,55 @@ class SpinnakerNode:
             yield from local_recovery(replica)
         self.membership = GroupMembership(self.zk, "/nodes", self.name)
         yield from self.membership.join()
-        for replica in self.replicas.values():
+        self._spawn_monitors()
+
+    def _spawn_monitors(self) -> None:
+        self._monitors = [
             self.spawn(leader_monitor(replica),
                        f"monitor-{replica.cohort_id}")
+            for replica in self.replicas.values()]
+
+    def _on_session_loss(self, zk: CoordClient) -> None:
+        """Our coordination session expired (or its lease ran out) while
+        the node itself is fine — e.g. partitioned from the coordination
+        service.  Ephemeral znodes are gone, so any leadership is forfeit
+        *now*: step every replica down before a rival leader can serve,
+        then rejoin with a fresh session (§7.2)."""
+        if not self.alive or self.zk is not zk:
+            return
+        self.session_losses += 1
+        self.trace("node", "session lost; stepping down")
+        for proc in self._monitors:
+            if proc.is_alive:
+                proc.interrupt("session-loss")
+        self._monitors = []
+        for replica in self.replicas.values():
+            replica.step_down()
+        zk.stop()
+        self.membership = None
+        self.zk = CoordClient(self.sim, self.endpoint,
+                              service=self.coord_name,
+                              session_timeout=self.config.session_timeout)
+        self.zk.on_session_loss = self._on_session_loss
+        self.spawn(self._rejoin(self.zk), "rejoin")
+
+    def _rejoin(self, zk: CoordClient):
+        from ..coord.znode import CoordError
+        from ..sim.network import RpcTimeout
+        from ..sim.process import timeout as sim_timeout
+        while self.alive and self.zk is zk:
+            try:
+                yield from zk.start(
+                    rpc_timeout=self.config.session_timeout)
+                self.membership = GroupMembership(zk, "/nodes", self.name)
+                yield from self.membership.join()
+                break
+            except (RpcTimeout, CoordError):
+                # Still cut off (or our old ephemerals linger until the
+                # previous session expires server-side); retry.
+                yield sim_timeout(self.sim, self.config.election_retry)
+        if self.alive and self.zk is zk:
+            self._spawn_monitors()
 
     def crash(self) -> None:
         """Fail-stop: lose volatile state, leave the network."""
@@ -221,6 +270,7 @@ class SpinnakerNode:
         self.wal.wipe()
         for replica in self.replicas.values():
             replica.engine.wipe()
+            replica.catchup_floor = LSN.zero()
         self.boot()
 
     # ------------------------------------------------------------------

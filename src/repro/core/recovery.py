@@ -117,14 +117,21 @@ def ingest_catchup(replica, reply: CatchupReply):
         wal.add_skipped(cohort_id, to_skip)
         for lsn in to_skip:
             replica.queue.drop(lsn)
-    # 2. SSTables shipped because the leader's log rolled over.
+    # 2. SSTables shipped because the leader's log rolled over.  Their
+    #    writes never enter our log, so remember the floor below which
+    #    local log holes are legitimate (audited by repro.chaos).
     for table in reply.sstables:
         replica.engine.ingest_sstable(table)
+    if reply.valid_after > replica.catchup_floor:
+        replica.catchup_floor = reply.valid_after
     # 3. Missing committed records: append + force, then apply in order.
+    #    ``backfill`` because a record may fall below our last LSN when a
+    #    lost propose left a gap with later records already logged.
     forces = []
     for record in reply.records:
-        if not wal.contains(cohort_id, record.lsn):
-            forces.append(wal.append(record, force=True))
+        if (not wal.contains(cohort_id, record.lsn)
+                and record.lsn > wal.min_retained_lsn(cohort_id)):
+            forces.append(wal.append(record, force=True, backfill=True))
     if forces:
         yield all_of(node.sim, forces)
     for record in reply.records:

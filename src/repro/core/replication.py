@@ -78,10 +78,16 @@ class CohortReplica:
         self.write_block: Optional[Event] = None
         self._last_commit_broadcast = LSN.zero()
         self.last_broadcast_at = 0.0   # benchmarks time failovers off this
+        # Records at or below this LSN may be absent from the local log:
+        # they arrived as shipped SSTables during catch-up (§6.1), not as
+        # log records.  The log-prefix auditors respect this floor.
+        self.catchup_floor = LSN.zero()
+        self._resyncing = False
         # counters
         self.writes_served = 0
         self.reads_served = 0
         self.proposes_handled = 0
+        self.resyncs = 0
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -381,12 +387,17 @@ class CohortReplica:
             record for record in msg.records
             if not node.wal.is_skipped(self.cohort_id, record.lsn)
             and not node.wal.contains(self.cohort_id, record.lsn)]
+        last = node.wal.last_lsn(self.cohort_id)
         forces = []
-        if len(missing) > 1 and len(missing) == len(msg.records):
+        if (len(missing) > 1 and len(missing) == len(msg.records)
+                and all(r.lsn > last for r in missing)):
             # Multi-operation transaction: force atomically (§8.2).
             forces.append(node.wal.append_batch(missing))
         else:
-            forces.extend(node.wal.append(record, force=True)
+            # ``backfill``: a takeover re-proposal may fill a gap below
+            # our last LSN (we logged later records, missed this one).
+            forces.extend(node.wal.append(record, force=True,
+                                          backfill=record.lsn <= last)
                           for record in missing)
         for record in msg.records:
             if not node.wal.is_skipped(self.cohort_id, record.lsn):
@@ -404,25 +415,93 @@ class CohortReplica:
         """Synchronous handler for the one-way commit message."""
         if msg.epoch < self.epoch:
             return
+        if self.role == Role.RECOVERING:
+            # Not caught up: we may lack the records this commit covers
+            # (proposes are dropped while recovering), so advancing f.cmt
+            # here would hide them from catch-up forever.  Catch-up
+            # delivers the same commit point with the records (§6.1).
+            return
         if msg.epoch > self.epoch:
             self.epoch = msg.epoch
             self.set_leader(src)
         self._apply_commit_info(msg.lsn)
 
+    def _held_through(self, upto: LSN) -> LSN:
+        """The largest committable LSN ``<= upto`` such that every LSN in
+        ``(committed_lsn, result]`` is locally held (in the log) or
+        logically truncated (skip list).
+
+        Sequence numbers of committed, non-skipped records are dense:
+        every leader allocates consecutive seqs continuing from its last
+        log record, and takeover re-proposals keep their original LSNs.
+        A missing seq therefore means a propose this replica never
+        received — committing past it would silently lose the record.
+        """
+        wal = self.node.wal
+        held = {rec.lsn.seq: rec.lsn
+                for rec in wal.write_records(self.cohort_id,
+                                             after=self.committed_lsn,
+                                             upto=upto)}
+        result = self.committed_lsn
+        for seq in range(self.committed_lsn.seq + 1, upto.seq + 1):
+            lsn = held.get(seq)
+            if lsn is None:
+                break
+            result = lsn
+        return min(result, upto)
+
     def _apply_commit_info(self, upto: LSN) -> None:
         if upto <= self.committed_lsn:
             return
-        committed = self.queue.apply_commit(upto)
-        for record in committed:
-            self.engine.apply(record)
-        self.committed_lsn = max(self.committed_lsn, upto)
-        self.node.wal.append(
-            CommitMarker(lsn=upto, cohort_id=self.cohort_id,
-                         committed_lsn=upto), force=False)
-        if committed:
-            self.node.charge_background(
-                len(committed) * self.node.config.commit_apply_service)
-            self.node.maybe_flush(self)
+        verified = (upto if self.is_leader else self._held_through(upto))
+        if verified > self.committed_lsn:
+            committed = self.queue.apply_commit(verified)
+            for record in committed:
+                self.engine.apply(record)
+            self.committed_lsn = max(self.committed_lsn, verified)
+            self.node.wal.append(
+                CommitMarker(lsn=verified, cohort_id=self.cohort_id,
+                             committed_lsn=verified), force=False)
+            if committed:
+                self.node.charge_background(
+                    len(committed) * self.node.config.commit_apply_service)
+                self.node.maybe_flush(self)
+        if verified < upto:
+            # Commit info outran our log: at least one propose in
+            # (verified, upto] never reached us (lost message or a gap
+            # opened while we were down).  Re-sync from the leader.
+            self._start_resync(upto)
+
+    def _start_resync(self, upto: LSN) -> None:
+        """Demote to RECOVERING and drive catch-up until it succeeds.
+
+        Used when a follower detects a log gap below the cohort's commit
+        point.  Catch-up fetches the missing records from the leader and
+        then restores FOLLOWER; meanwhile proposes are dropped, which is
+        safe (the leader only needs a quorum) and cannot widen the gap.
+        """
+        if self.role != Role.FOLLOWER or self._resyncing:
+            return
+        from .recovery import follower_catchup  # cycle: recovery imports us
+        node = self.node
+        self._resyncing = True
+        self.role = Role.RECOVERING
+        self.resyncs += 1
+        node.trace("resync", "log gap below commit point",
+                   cohort=self.cohort_id, cmt=str(self.committed_lsn),
+                   upto=str(upto))
+
+        def _run():
+            try:
+                while node.alive and self.role == Role.RECOVERING:
+                    ok = yield from follower_catchup(self)
+                    if ok:
+                        return
+                    yield timeout(node.sim, node.config.election_retry)
+            finally:
+                self._resyncing = False
+
+        node.spawn(_run(), name=f"resync-{self.cohort_id}")
 
     # ------------------------------------------------------------------
     # Reads
@@ -432,7 +511,11 @@ class CohortReplica:
         node, cfg = self.node, self.node.config
         msg: ClientGet = req.payload
         if msg.consistent:
-            if not self.is_leader:
+            # A leader-elect mid-takeover has not yet re-proposed the
+            # (l.cmt, l.lst] tail, so its memtable can miss committed
+            # writes — strong reads must wait for takeover to finish
+            # (§6.2), exactly like writes do.
+            if not (self.is_leader and self.open_for_writes):
                 req.respond(_err("not-leader", self.leader))
                 return
             service = cfg.read_service + cfg.strong_read_overhead
@@ -498,6 +581,24 @@ class CohortReplica:
         self.engine.crash()
         self.electing = False
         self.candidate_path = None
+        self.write_block = None
+        self._resyncing = False
+
+    def step_down(self) -> None:
+        """Coordination session lost: we can no longer prove leadership
+        (the leader znode is gone or about to be).  Drop to RECOVERING;
+        the rejoin path re-resolves leadership and catches us up.  Keeps
+        all durable and in-memory replica state — unlike a crash."""
+        if self.role == Role.OFFLINE:
+            return
+        self.role = Role.RECOVERING
+        self.leader = None
+        self.open_for_writes = False
+        self.electing = False
+        self.candidate_path = None
+        self._resyncing = False
+        if self.write_block is not None and not self.write_block.triggered:
+            self.write_block.succeed()
         self.write_block = None
 
     def prepare_restart(self) -> None:

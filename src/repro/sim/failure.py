@@ -67,10 +67,46 @@ class FailureSchedule:
         self._run(at, f"lose-disk {name}", target.lose_disk)
 
     # -- network failures -----------------------------------------------
-    def partition_at(self, at: float, network: Any, a: str, b: str) -> None:
-        self._run(at, f"partition {a}|{b}", lambda: network.block(a, b))
+    def partition_at(self, at: float, network: Any, a: str, b: str,
+                     symmetric: bool = True) -> None:
+        arrow = "|" if symmetric else ">"
+        self._run(at, f"partition {a}{arrow}{b}",
+                  lambda: network.block(a, b, symmetric=symmetric))
 
     def heal_at(self, at: float, network: Any,
                 a: Optional[str] = None, b: Optional[str] = None) -> None:
         self._run(at, f"heal {a or 'all'}",
                   lambda: network.heal(a, b))
+
+    def partition_for(self, at: float, duration: float, network: Any,
+                      a: str, b: str, symmetric: bool = True) -> None:
+        """Partition at ``at`` and heal the pair ``duration`` later."""
+        self.partition_at(at, network, a, b, symmetric=symmetric)
+        self.heal_at(at + duration, network, a, b)
+
+    def drop_burst(self, at: float, duration: float, network: Any,
+                   a: str, b: str, rate: float,
+                   symmetric: bool = True) -> None:
+        """Make the ``a``/``b`` link lossy for a window of time."""
+        self._run(at, f"drop {a}~{b} p={rate:g}",
+                  lambda: network.set_drop_rate(a, b, rate,
+                                                symmetric=symmetric))
+        self._run(at + duration, f"drop-end {a}~{b}",
+                  lambda: network.set_drop_rate(a, b, 0.0,
+                                                symmetric=symmetric))
+
+    def latency_spike(self, at: float, duration: float, network: Any,
+                      extra: float) -> None:
+        """Add ``extra`` seconds to every message for a window of time.
+
+        Spikes are additive, so overlapping spikes compose and unwind
+        deterministically.
+        """
+        def _raise() -> None:
+            network.extra_delay += extra
+
+        def _lower() -> None:
+            network.extra_delay = max(0.0, network.extra_delay - extra)
+
+        self._run(at, f"slow +{extra:g}s", _raise)
+        self._run(at + duration, f"slow-end -{extra:g}s", _lower)

@@ -11,7 +11,12 @@ switch, clients on a second rack, reliable in-order messaging over TCP
 * messages to a crashed endpoint are silently dropped (the sender learns
   about failures through acks/timeouts/coordination service, exactly as
   Spinnaker does);
-* network partitions drop messages between blocked pairs.
+* network partitions drop messages between blocked pairs — symmetric by
+  default, or one-directional (``block(a, b, symmetric=False)``) to model
+  asymmetric partitions;
+* per-ordered-pair fault injection for chaos testing: a drop probability
+  (lossy links) and an extra fixed delay (latency spikes), plus a
+  network-wide ``extra_delay`` knob.
 
 A small request/reply (RPC) layer is included because both datastores and
 the benchmark clients are built around it.
@@ -98,6 +103,11 @@ class Network:
         self._endpoints: Dict[str, "Endpoint"] = {}
         self._last_delivery: Dict[Tuple[str, str], float] = {}
         self._blocked: set = set()
+        self._blocked_oneway: set = set()      # ordered (src, dst) pairs
+        self._drop_rates: Dict[Tuple[str, str], float] = {}
+        self._extra_delays: Dict[Tuple[str, str], float] = {}
+        #: additive network-wide delay (latency-spike injection)
+        self.extra_delay = 0.0
         self._req_ids = itertools.count(1)
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -118,19 +128,61 @@ class Network:
             raise SimulationError(f"unknown endpoint {name!r}") from None
 
     # -- partitions ---------------------------------------------------------
-    def block(self, a: str, b: str) -> None:
-        """Drop traffic between ``a`` and ``b`` (both directions)."""
-        self._blocked.add(frozenset((a, b)))
+    def block(self, a: str, b: str, symmetric: bool = True) -> None:
+        """Drop traffic between ``a`` and ``b``.
+
+        Symmetric (the default) blocks both directions; with
+        ``symmetric=False`` only ``a`` → ``b`` messages are dropped while
+        replies ``b`` → ``a`` still flow (asymmetric partition).
+        """
+        if symmetric:
+            self._blocked.add(frozenset((a, b)))
+        else:
+            self._blocked_oneway.add((a, b))
 
     def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
-        """Heal one pair, or all partitions when called with no args."""
+        """Heal one pair (both directions), or everything with no args."""
         if a is None:
             self._blocked.clear()
+            self._blocked_oneway.clear()
         else:
             self._blocked.discard(frozenset((a, b)))
+            self._blocked_oneway.discard((a, b))
+            self._blocked_oneway.discard((b, a))
 
     def is_blocked(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._blocked
+        """True when ``a`` → ``b`` traffic is blocked (directional)."""
+        return (frozenset((a, b)) in self._blocked
+                or (a, b) in self._blocked_oneway)
+
+    # -- lossy / slow links (chaos injection) ---------------------------
+    def set_drop_rate(self, a: str, b: str, rate: float,
+                      symmetric: bool = True) -> None:
+        """Drop each ``a`` → ``b`` message with probability ``rate``
+        (and ``b`` → ``a`` too when symmetric).  ``rate=0`` clears."""
+        pairs = [(a, b), (b, a)] if symmetric else [(a, b)]
+        for pair in pairs:
+            if rate > 0:
+                self._drop_rates[pair] = rate
+            else:
+                self._drop_rates.pop(pair, None)
+
+    def set_extra_delay(self, a: str, b: str, extra: float,
+                        symmetric: bool = True) -> None:
+        """Add ``extra`` seconds of one-way delay on the link.
+        ``extra=0`` clears.  FIFO ordering per pair is preserved."""
+        pairs = [(a, b), (b, a)] if symmetric else [(a, b)]
+        for pair in pairs:
+            if extra > 0:
+                self._extra_delays[pair] = extra
+            else:
+                self._extra_delays.pop(pair, None)
+
+    def clear_link_faults(self) -> None:
+        """Remove every injected drop rate and extra delay."""
+        self._drop_rates.clear()
+        self._extra_delays.clear()
+        self.extra_delay = 0.0
 
     # -- transmission -----------------------------------------------------
     def _transmit(self, env: _Envelope) -> None:
@@ -142,7 +194,12 @@ class Network:
         if self.is_blocked(env.src, env.dst):
             self.messages_dropped += 1
             return
-        delay = self.latency.delay(env.size, self._rng)
+        rate = self._drop_rates.get((env.src, env.dst))
+        if rate and self._rng.random() < rate:
+            self.messages_dropped += 1
+            return
+        delay = (self.latency.delay(env.size, self._rng) + self.extra_delay
+                 + self._extra_delays.get((env.src, env.dst), 0.0))
         arrival = self.sim.now + delay
         # FIFO per ordered pair: never deliver before an earlier message.
         key = (env.src, env.dst)
@@ -168,6 +225,11 @@ class Endpoint:
         self.alive = True
         self._handler: Optional[Callable[[Request], None]] = None
         self._pending: Dict[int, Event] = {}
+        self._timeouts: Dict[int, Any] = {}     # req_id -> scheduler entry
+        #: replies that arrived after their request timed out (or after a
+        #: crash cleared it) and were discarded — chaos runs assert these
+        #: never resume a waiter twice
+        self.stale_replies = 0
 
     # -- wiring ----------------------------------------------------------
     def on_request(self, handler: Callable[[Request], None]) -> None:
@@ -179,6 +241,9 @@ class Endpoint:
         """Take the endpoint off the network; pending RPCs never resolve."""
         self.alive = False
         self._pending.clear()
+        for entry in self._timeouts.values():
+            self.sim.cancel(entry)
+        self._timeouts.clear()
 
     def restart(self) -> None:
         self.alive = True
@@ -211,19 +276,30 @@ class Endpoint:
             _Envelope(self.name, dst, payload, size, req_id, None))
         if timeout is not None:
             def _expire() -> None:
+                # Remove the pending entry *before* failing it: a reply
+                # that arrives later finds nothing and is discarded, so
+                # the waiting process is resumed exactly once.
+                self._timeouts.pop(req_id, None)
                 pending = self._pending.pop(req_id, None)
                 if pending is not None and not pending.triggered:
                     pending.fail(RpcTimeout(
                         f"rpc {self.name}->{dst} timed out after {timeout}s"))
-            self.sim.schedule(timeout, _expire)
+            self._timeouts[req_id] = self.sim.schedule(timeout, _expire)
         return ev
 
     # -- inbound ------------------------------------------------------------
     def _receive(self, env: _Envelope) -> None:
         if env.reply_to is not None:
+            entry = self._timeouts.pop(env.reply_to, None)
+            if entry is not None:
+                self.sim.cancel(entry)
             ev = self._pending.pop(env.reply_to, None)
-            if ev is not None and not ev.triggered:
-                ev.succeed(env.payload)
+            if ev is None or ev.triggered:
+                # Late reply: the request already timed out (or the
+                # endpoint restarted).  Drop it on the floor.
+                self.stale_replies += 1
+                return
+            ev.succeed(env.payload)
             return
         if self._handler is None:
             return

@@ -79,13 +79,21 @@ class SharedLog:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
-    def append(self, record: LogRecord, force: bool = True) -> Optional[Event]:
+    def append(self, record: LogRecord, force: bool = True,
+               backfill: bool = False) -> Optional[Event]:
         """Append a record; returns the durability event when ``force``.
 
         Write records must carry a strictly increasing LSN within their
         cohort (among non-skipped records); duplicates raise
         :class:`DuplicateLSN` so protocol bugs surface loudly — recovery
         code checks :meth:`contains` before re-appending.
+
+        ``backfill`` permits an LSN at or below the cohort's last one:
+        catch-up and takeover re-proposals legitimately fill gaps left by
+        lost proposes (§6.1).  Physically it is still an append; the
+        logical view keeps its records sorted by LSN, and a backfilled
+        LSN is removed from the skipped list (the leader is
+        authoritative about which records are committed).
         """
         view = self._view(record.cohort_id)
         if isinstance(record, WriteRecord):
@@ -93,13 +101,18 @@ class SharedLog:
                 raise DuplicateLSN(f"{record.lsn} already in cohort "
                                    f"{record.cohort_id} log")
             last = self._last_lsn(view)
-            if record.lsn <= last:
+            if record.lsn <= last and not backfill:
                 raise StaleLSN(f"{record.lsn} <= last LSN {last}")
         self._seq += 1
         entry = _Entry(record, self._seq)
         if isinstance(record, WriteRecord):
-            view.writes.append(entry)
+            idx = len(view.writes)
+            while idx > 0 and view.writes[idx - 1].record.lsn > record.lsn:
+                idx -= 1
+            view.writes.insert(idx, entry)
             view.by_lsn[record.lsn] = entry
+            if backfill:
+                view.skipped.discard(record.lsn)
         else:
             self._markers.append(entry)
             if isinstance(record, CommitMarker):
@@ -210,6 +223,11 @@ class SharedLog:
         ]
         out.sort(key=lambda rec: rec.lsn)
         return out
+
+    def min_retained_lsn(self, cohort_id: int) -> LSN:
+        """The cohort's GC horizon: records at or below this LSN have
+        been rolled over into SSTables and are no longer in the log."""
+        return self._view(cohort_id).min_retained
 
     def can_serve_after(self, cohort_id: int, lsn: LSN) -> bool:
         """True if every record after ``lsn`` is still in the log (not

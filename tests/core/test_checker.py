@@ -124,3 +124,49 @@ def test_cluster_history_is_strongly_consistent_through_failover():
     assert len(history) > 40
     violations = check_strong_history(history)
     assert violations == [], "\n".join(map(str, violations))
+
+
+def test_stale_read_separated_by_overlapping_read_detected():
+    """Regression: the old adjacent-pair monotonicity check missed a
+    stale read when an *overlapping* read sat between it and the fresh
+    one in start order."""
+    h = HistoryRecorder()
+    h.record_write(b"k", 0.0, 0.1, version=1)
+    h.record_write(b"k", 0.5, 5.0, version=2)
+    h.record_read(b"k", 1.0, 1.2, version=2)   # fresh, ends early
+    h.record_read(b"k", 1.1, 4.0, version=1)   # overlaps both reads: OK
+    h.record_read(b"k", 4.5, 4.8, version=1)   # after the v2 read: stale
+    violations = check_strong_history(h)
+    assert any(v.rule == "monotonicity" for v in violations)
+    # ...and only the non-overlapping pair is flagged.
+    assert all("4.5" in v.detail for v in violations
+               if v.rule == "monotonicity")
+
+
+def test_monotonicity_ignores_overlapping_pairs():
+    h = HistoryRecorder()
+    h.record_write(b"k", 0.0, 0.1, version=1)
+    h.record_write(b"k", 0.5, 5.0, version=2)
+    h.record_read(b"k", 1.0, 3.0, version=2)
+    h.record_read(b"k", 2.0, 4.0, version=1)   # overlaps: either order
+    assert check_strong_history(h) == []
+
+
+def test_indeterminate_write_lifts_time_travel_ceiling():
+    """A timed-out write may have committed (and its client-level
+    retries may commit several versions): reads overlapping-or-after it
+    can legally return versions above the acked ceiling."""
+    h = HistoryRecorder()
+    h.record_write(b"k", 0.0, 1.0, version=1)
+    h.record_write(b"k", 2.0, 8.0, version=0, ok=False)  # timed out
+    h.record_read(b"k", 3.0, 3.5, version=3)   # retry committed twice: OK
+    assert check_strong_history(h) == []
+
+
+def test_time_travel_still_checked_before_indeterminate_write():
+    h = HistoryRecorder()
+    h.record_write(b"k", 0.0, 1.0, version=1)
+    h.record_read(b"k", 1.5, 2.0, version=3)   # nothing indeterminate yet
+    h.record_write(b"k", 3.0, 9.0, version=0, ok=False)
+    violations = check_strong_history(h)
+    assert any(v.rule == "time-travel" for v in violations)

@@ -106,3 +106,79 @@ def test_scheduled_partition_heals_cleanly():
     # The write could not commit before the heal at t=2.5.
     assert outcome["write_done_at"] >= 2.5
     assert cluster.all_failures() == []
+
+
+def test_scheduled_disk_loss_rejoins_via_catchup():
+    """lose_disk_at wipes a follower's log and SSTables; the node must
+    come back through catch-up with all committed data intact."""
+    cluster = make_cluster(seed=69)
+    sim = cluster.sim
+    client = cluster.client()
+    cohort_id = 0
+    leader = cluster.leader_of(cohort_id)
+    victim = next(m for m in cluster.partitioner.cohort(cohort_id).members
+                  if m != leader)
+    keys = []
+    i = 0
+    while len(keys) < 30:
+        key = b"dl-%d" % i
+        if cluster.partitioner.locate(key).cohort_id == cohort_id:
+            keys.append(key)
+        i += 1
+    state = {"done": False}
+
+    def writer():
+        for key in keys:
+            yield from client.put(key, b"c", b"v-" + key)
+            yield timeout(sim, 0.1)
+        state["done"] = True
+
+    sched = FailureSchedule(sim)
+    sched.lose_disk_at(1.3, cluster.nodes[victim])
+    spawn(sim, writer())
+    cluster.run_until(lambda: state["done"], limit=120.0, what="writer")
+    cluster.run(8.0)  # let catch-up finish
+
+    assert [label for _t, label in sched.log] == [f"lose-disk {victim}"]
+    node = cluster.nodes[victim]
+    assert node.alive
+    replica = node.replicas[cohort_id]
+    assert replica.role in (Role.FOLLOWER, Role.LEADER)
+    # The wiped node holds every committed write again — either as
+    # caught-up log records or shipped SSTables below its catch-up floor.
+    for key in keys:
+        cell = replica.engine.get(key, b"c")
+        assert cell is not None and cell.value == b"v-" + key
+    assert cluster.all_failures() == []
+
+
+def test_leader_cut_off_from_coord_steps_down():
+    """A leader partitioned from the coordination service loses its
+    session lease and must step down before a rival wins the election —
+    strong reads never go stale (§7.2)."""
+    cluster = make_cluster(seed=70)
+    sim = cluster.sim
+    cohort_id = 0
+    old_leader = cluster.leader_of(cohort_id)
+    assert old_leader is not None
+    cluster.network.block(old_leader, "coord")
+    cluster.run_until(
+        lambda: (cluster.leader_of(cohort_id) not in (None, old_leader)),
+        limit=60.0, what="new leader")
+    node = cluster.nodes[old_leader]
+    assert node.session_losses >= 1
+    replica = node.replicas[cohort_id]
+    assert replica.role != Role.LEADER
+    assert not replica.open_for_writes
+
+    # Heal; the deposed node rejoins as a follower and writes flow.
+    cluster.network.heal()
+    client = cluster.client()
+    key = next(b"sl-%d" % i for i in range(1000)
+               if cluster.partitioner.locate(
+                   b"sl-%d" % i).cohort_id == cohort_id)
+    proc = spawn(sim, client.put(key, b"c", b"v"))
+    cluster.run_until(lambda: proc.triggered, limit=60.0, what="write")
+    cluster.run(10.0)  # rejoin + catch-up settle
+    assert cluster.nodes[old_leader].zk.session is not None
+    assert cluster.all_failures() == []

@@ -81,3 +81,67 @@ def test_custom_labels_in_log():
     sched.crash_at(1.0, node, label="the-leader")
     sim.run()
     assert sched.log == [(1.0, "crash the-leader")]
+
+
+def _net_pair(seed=4):
+    sim = Simulator()
+    net = Network(sim, RngRegistry(seed))
+    got = {"a": [], "b": []}
+    for name in ("a", "b"):
+        net.endpoint(name).on_request(
+            lambda req, _n=name: got[_n].append(req.payload))
+    return sim, net, got
+
+
+def test_one_way_partition_via_schedule():
+    sim, net, got = _net_pair()
+    sched = FailureSchedule(sim)
+    sched.partition_at(1.0, net, "a", "b", symmetric=False)
+    sim.run(until=2.0)
+    assert net.is_blocked("a", "b")
+    assert not net.is_blocked("b", "a")
+    assert sched.log == [(1.0, "partition a>b")]
+
+
+def test_partition_for_heals_just_that_pair():
+    sim, net, got = _net_pair()
+    sched = FailureSchedule(sim)
+    sched.partition_for(1.0, duration=2.0, network=net, a="a", b="b")
+    sim.run(until=2.0)
+    assert net.is_blocked("a", "b") and net.is_blocked("b", "a")
+    sim.run(until=4.0)
+    assert not net.is_blocked("a", "b")
+    assert [label for _t, label in sched.log] == [
+        "partition a|b", "heal a"]
+
+
+def test_drop_burst_window():
+    sim, net, got = _net_pair()
+    sched = FailureSchedule(sim)
+    sched.drop_burst(1.0, duration=1.0, network=net,
+                     a="a", b="b", rate=1.0)
+    a = net.get("a")
+    sim.call_at(1.5, lambda: a.send("b", "during"))
+    sim.call_at(2.5, lambda: a.send("b", "after"))
+    sim.run()
+    assert got["b"] == ["after"]
+    assert net.messages_dropped == 1
+
+
+def test_latency_spikes_compose_and_unwind():
+    sim, net, got = _net_pair()
+    sched = FailureSchedule(sim)
+    sched.latency_spike(1.0, duration=2.0, network=net, extra=0.010)
+    sched.latency_spike(2.0, duration=2.0, network=net, extra=0.005)
+    checks = []
+    for t, expect in [(1.5, 0.010), (2.5, 0.015), (3.5, 0.005),
+                      (4.5, 0.0)]:
+        sim.call_at(t, lambda e=expect: checks.append(
+            abs(net.extra_delay - e) < 1e-12))
+    sim.run()
+    assert all(checks)
+    a = net.get("a")
+    # A message sent with no spike active arrives fast again.
+    a.send("b", "calm")
+    sim.run()
+    assert got["b"] == ["calm"]

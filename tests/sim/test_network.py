@@ -155,3 +155,139 @@ def test_unknown_endpoint_lookup_raises():
     sim, net = make_net()
     with pytest.raises(Exception):
         net.get("nope")
+
+
+# -- link faults: one-way blocks, lossy links, per-pair delays ----------------
+
+def test_one_way_block_only_stops_one_direction():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got_a, got_b = [], []
+    a.on_request(lambda req: got_a.append(req.payload))
+    b.on_request(lambda req: got_b.append(req.payload))
+    net.block("a", "b", symmetric=False)
+    a.send("b", "a->b")      # blocked
+    b.send("a", "b->a")      # still flows
+    sim.run()
+    assert got_b == [] and got_a == ["b->a"]
+    assert net.is_blocked("a", "b") and not net.is_blocked("b", "a")
+    net.heal("a", "b")
+    a.send("b", "after")
+    sim.run()
+    assert got_b == ["after"]
+
+
+def test_heal_all_clears_one_way_blocks():
+    sim, net = make_net()
+    net.endpoint("a")
+    net.endpoint("b")
+    net.block("a", "b", symmetric=False)
+    net.heal()
+    assert not net.is_blocked("a", "b")
+
+
+def test_drop_rate_one_loses_everything_and_zero_restores():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append(req.payload))
+    net.set_drop_rate("a", "b", 1.0, symmetric=False)
+    for i in range(10):
+        a.send("b", i)
+    sim.run()
+    assert got == []
+    assert net.messages_dropped == 10
+    net.set_drop_rate("a", "b", 0.0)
+    a.send("b", "through")
+    sim.run()
+    assert got == ["through"]
+
+
+def test_symmetric_drop_rate_applies_both_ways():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got_a, got_b = [], []
+    a.on_request(lambda req: got_a.append(req.payload))
+    b.on_request(lambda req: got_b.append(req.payload))
+    net.set_drop_rate("a", "b", 1.0)
+    a.send("b", 1)
+    b.send("a", 2)
+    sim.run()
+    assert got_a == [] and got_b == []
+
+
+def test_per_pair_extra_delay_slows_only_that_link():
+    sim, net = make_net(jitter=0.0)
+    a, b, c = net.endpoint("a"), net.endpoint("b"), net.endpoint("c")
+    arrivals = {}
+    b.on_request(lambda req: arrivals.setdefault("b", sim.now))
+    c.on_request(lambda req: arrivals.setdefault("c", sim.now))
+    net.set_extra_delay("a", "b", 0.05)
+    a.send("b", "slow", size=64)
+    a.send("c", "fast", size=64)
+    sim.run()
+    assert arrivals["b"] >= arrivals["c"] + 0.05
+
+
+def test_clear_link_faults_resets_drops_and_delays():
+    """clear_link_faults removes lossy/slow links; blocks are heal()'s
+    job, so the two compose without stepping on each other."""
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got = []
+    b.on_request(lambda req: got.append(req.payload))
+    net.set_drop_rate("a", "b", 1.0)
+    net.set_extra_delay("a", "b", 1.0)
+    net.extra_delay = 0.5
+    net.clear_link_faults()
+    a.send("b", "ok")
+    sim.run(until=0.5)
+    assert got == ["ok"]
+    assert net.extra_delay == 0.0
+
+
+# -- late replies after an RPC timeout ---------------------------------------
+
+def test_late_reply_after_timeout_is_discarded():
+    """A reply landing after RpcTimeout must not resume the requester
+    twice (or at all) — it is counted and dropped."""
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+
+    def slow_handler(req):
+        def _later():
+            yield timeout(sim, 0.2)     # reply well past the timeout
+            req.respond("too-late")
+        spawn(sim, _later())
+
+    b.on_request(slow_handler)
+    outcomes = []
+
+    def client():
+        try:
+            value = yield a.request("b", "ping", timeout=0.05)
+            outcomes.append(value)
+        except RpcTimeout:
+            outcomes.append("timeout")
+
+    spawn(sim, client())
+    sim.run()
+    assert outcomes == ["timeout"]      # resumed exactly once
+    assert a.stale_replies == 1
+
+
+def test_reply_before_timeout_cancels_it():
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    b.on_request(lambda req: req.respond("pong"))
+    outcomes = []
+
+    def client():
+        value = yield a.request("b", "ping", timeout=5.0)
+        outcomes.append(value)
+
+    spawn(sim, client())
+    sim.run()
+    assert outcomes == ["pong"]
+    assert a.stale_replies == 0
+    assert sim.now < 1.0                # did not sit out the timeout
