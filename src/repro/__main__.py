@@ -6,6 +6,10 @@
 ``python -m repro chaos``      — randomized nemesis + invariant audit
                                  (--seed N --duration S [--nodes K]
                                  [--shrink]); same seed, same output
+``python -m repro lint``       — determinism & protocol static checks
+                                 ([path] [--json] [--rule R]
+                                 [--write-baseline]); exits nonzero on
+                                 new findings
 """
 
 from __future__ import annotations
@@ -107,7 +111,11 @@ def main(argv) -> int:
         return 0
     if command == "chaos":
         return _chaos(rest)
-    print(f"unknown command {command!r}; try 'bench', 'demo' or 'chaos'")
+    if command == "lint":
+        from .analysis.cli import main as lint_main
+        return lint_main(rest)
+    print(f"unknown command {command!r}; try 'bench', 'demo', 'chaos' "
+          f"or 'lint'")
     return 2
 
 

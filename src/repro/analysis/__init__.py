@@ -1,0 +1,45 @@
+"""Static analysis for the reproduction: determinism & protocol lints.
+
+Everything the simulator proves — chaos regressions, shrunk schedules,
+benchmark numbers — rests on one property: a run is a pure function of
+``(seed, config)``.  This package enforces that property *statically*:
+
+- :mod:`~repro.analysis.determinism` walks every module's AST and flags
+  nondeterminism hazards (ambient randomness, wall-clock reads, real
+  I/O, order-escaping ``set`` iteration, scheduling-visible ``dict``
+  iteration, ``id()``/``hash()`` ordering, and non-``Event`` yields in
+  process bodies);
+- :mod:`~repro.analysis.protocol` cross-references the frozen-dataclass
+  message catalogs against the ``isinstance``-chain dispatchers and
+  reports unhandled, dead, and epoch-unchecked message types;
+- :mod:`~repro.analysis.findings` provides the shared finding model,
+  ``# lint: allow(<rule>)`` pragma suppression, and the checked-in
+  baseline mechanism;
+- :mod:`~repro.analysis.runner` ties it together and
+  :mod:`~repro.analysis.cli` exposes ``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+from .determinism import DETERMINISM_RULES, lint_source
+from .findings import (Baseline, Finding, match_baseline, parse_pragmas,
+                       suppressed)
+from .protocol import (DEFAULT_PROTOCOLS, ProtocolSpec, check_protocol,
+                       check_protocols)
+from .runner import LintResult, run_lint
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_PROTOCOLS",
+    "DETERMINISM_RULES",
+    "Finding",
+    "LintResult",
+    "ProtocolSpec",
+    "check_protocol",
+    "check_protocols",
+    "lint_source",
+    "match_baseline",
+    "parse_pragmas",
+    "run_lint",
+    "suppressed",
+]

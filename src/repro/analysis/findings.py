@@ -1,0 +1,135 @@
+"""Finding model, pragma suppression, and the checked-in baseline.
+
+A finding pins a rule violation to ``path:line``.  Two escape hatches
+keep intentional uses green without weakening the gate for new code:
+
+**Pragmas** — ``# lint: allow(rule-a, rule-b)`` on the offending line
+(or the line directly above it) suppresses those rules for that line.
+Pragmas are the right tool when the code is *correct* and the reason
+fits in the comment ("insertion order: cohorts registered in sorted
+order at build time").
+
+**Baseline** — a checked-in JSON file listing tolerated findings.  Each
+entry is matched by ``(rule, path, code)`` where ``code`` is the
+stripped source line, *not* the line number, so unrelated edits above a
+baselined site do not resurrect it.  Duplicate source lines are matched
+with multiplicity.  The baseline is for pre-existing debt; new code
+should be clean or carry a pragma with its justification.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["Finding", "Baseline", "parse_pragmas", "suppressed",
+           "match_baseline"]
+
+#: ``# lint: allow(rule-a, rule-b)`` — also tolerates ``lint:allow``.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str           # repo-relative, forward slashes
+    line: int           # 1-indexed
+    message: str
+    code: str = ""      # stripped source line, used for baseline matching
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "code": self.code}
+
+
+def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule names allowed on that line.
+
+    A pragma covers its own line and the line below it, so both styles
+    work::
+
+        for proc in procs:  # lint: allow(set-iteration)
+
+        # lint: allow(dict-order)  -- insertion order is build order
+        for name, node in self.nodes.items():
+    """
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        for target in (lineno, lineno + 1):
+            allowed.setdefault(target, set()).update(rules)
+    return allowed
+
+
+def suppressed(finding: Finding, pragmas: Dict[int, Set[str]]) -> bool:
+    rules = pragmas.get(finding.line)
+    if not rules:
+        return False
+    return finding.rule in rules or "*" in rules
+
+
+@dataclass
+class Baseline:
+    """Tolerated findings, keyed by ``(rule, path, code)`` with counts."""
+
+    entries: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        baseline = cls()
+        for item in data.get("findings", []):
+            key = (item["rule"], item["path"], item.get("code", ""))
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for f in findings:
+            key = (f.rule, f.path, f.code)
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+        return baseline
+
+    def dump(self, path: Path) -> None:
+        items = []
+        for (rule, fpath, code), count in sorted(self.entries.items()):
+            items.extend({"rule": rule, "path": fpath, "code": code}
+                         for _ in range(count))
+        path.write_text(
+            json.dumps({"comment": "Tolerated pre-existing lint findings; "
+                                   "see DESIGN.md 'Determinism rules'.",
+                        "findings": items},
+                       indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+
+
+def match_baseline(findings: List[Finding],
+                   baseline: Optional[Baseline]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (new, baselined), consuming baseline budget
+    with multiplicity."""
+    if baseline is None:
+        return list(findings), []
+    budget = dict(baseline.entries)
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        key = (f.rule, f.path, f.code)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    return new, old

@@ -1,0 +1,125 @@
+"""Walk a source tree, run every check, apply pragmas and the baseline.
+
+The runner makes two passes.  Pass one collects, across *all* modules,
+the names of generator functions handed to ``spawn``-like calls — a
+process body is often defined in one module and spawned from another
+(``leader_monitor`` lives in ``election.py``, is spawned by
+``node.py``).  Pass two lints each module with that global knowledge,
+then runs the protocol exhaustiveness checks, filters ``# lint:
+allow(...)`` pragmas, and splits what remains against the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from .determinism import collect_spawned, lint_source
+from .findings import (Baseline, Finding, match_baseline, parse_pragmas,
+                       suppressed)
+from .protocol import ProtocolSpec, check_protocols
+
+__all__ = ["LintResult", "run_lint", "iter_py_files", "is_sim_visible"]
+
+#: top-level packages whose code never runs inside the simulation
+#: (reporting, CLIs, and this analysis suite itself)
+NON_SIM_PACKAGES = {"bench", "analysis"}
+NON_SIM_FILES = {"__main__.py"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one full lint run."""
+
+    root: Path
+    findings: List[Finding] = field(default_factory=list)      # new
+    baselined: List[Finding] = field(default_factory=list)
+    pragma_suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def all_raw(self) -> List[Finding]:
+        """Every finding before baseline filtering (for --write-baseline)."""
+        return sorted(self.findings + self.baselined,
+                      key=lambda f: (f.path, f.line, f.rule))
+
+
+def iter_py_files(root: Path) -> List[Path]:
+    return sorted(p for p in root.rglob("*.py")
+                  if "__pycache__" not in p.parts)
+
+
+def is_sim_visible(rel: Path) -> bool:
+    """Whether determinism rules for sim-internal code apply to ``rel``."""
+    if rel.name in NON_SIM_FILES:
+        return False
+    return not (rel.parts and rel.parts[0] in NON_SIM_PACKAGES)
+
+
+def run_lint(root: Path,
+             baseline_path: Optional[Path] = None,
+             protocols: Optional[Sequence[ProtocolSpec]] = None,
+             rules: Optional[Set[str]] = None) -> LintResult:
+    """Lint every module under ``root`` plus the protocol catalogs.
+
+    ``rules`` restricts the run to the named rules when given.
+    ``protocols=None`` uses :data:`~repro.analysis.protocol.
+    DEFAULT_PROTOCOLS` (which self-skip unless their files exist under
+    ``root``); pass ``()`` to disable protocol checks entirely.
+    """
+    root = root.resolve()
+    result = LintResult(root=root)
+    files = iter_py_files(root)
+    sources: Dict[Path, str] = {}
+    spawned: Set[str] = set()
+
+    for path in files:
+        try:
+            text = path.read_text(encoding="utf-8")
+            tree = ast.parse(text, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError) as err:
+            result.parse_errors.append(f"{path}: {err}")
+            continue
+        sources[path] = text
+        spawned |= collect_spawned(tree)
+
+    raw: List[Finding] = []
+    for path, text in sources.items():
+        rel = path.relative_to(root)
+        result.files_checked += 1
+        raw.extend(lint_source(text, rel.as_posix(),
+                               sim_visible=is_sim_visible(rel),
+                               spawned=spawned))
+    raw.extend(check_protocols(root, protocols))
+
+    if rules is not None:
+        raw = [f for f in raw if f.rule in rules]
+
+    # pragma suppression, per referenced file
+    pragma_cache: Dict[str, Dict[int, Set[str]]] = {}
+    surviving: List[Finding] = []
+    for f in sorted(raw, key=lambda x: (x.path, x.line, x.rule)):
+        pragmas = pragma_cache.get(f.path)
+        if pragmas is None:
+            target = root / f.path
+            pragmas = (parse_pragmas(sources.get(target)
+                                     if target in sources
+                                     else target.read_text(encoding="utf-8"))
+                       if target.exists() else {})
+            pragma_cache[f.path] = pragmas
+        if suppressed(f, pragmas):
+            result.pragma_suppressed.append(f)
+        else:
+            surviving.append(f)
+
+    baseline = None
+    if baseline_path is not None and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+    result.findings, result.baselined = match_baseline(surviving, baseline)
+    return result

@@ -73,7 +73,9 @@ class CassandraNode:
         self.hints: Dict[str, List[ReplicaWrite]] = {}
         #: peers suspected down (name -> suspicion expiry time)
         self.suspected: Dict[str, float] = {}
-        self._procs: set = set()
+        #: live handler processes in spawn order (ordered-set via dict;
+        #: crash-time interrupt order must be deterministic)
+        self._procs: Dict[Process, None] = {}
         self.failures: List[BaseException] = []
         self.writes_coordinated = 0
         self.reads_coordinated = 0
@@ -85,10 +87,10 @@ class CassandraNode:
     # ------------------------------------------------------------------
     def spawn_proc(self, gen, name: str = "") -> Process:
         proc = spawn(self.sim, gen, name=f"{self.name}:{name}")
-        self._procs.add(proc)
+        self._procs[proc] = None
 
         def _done(ev):
-            self._procs.discard(proc)
+            self._procs.pop(proc, None)
             if not ev._ok:
                 ev.defuse()
                 if not isinstance(ev._value, ProcessKilled):
@@ -110,6 +112,7 @@ class CassandraNode:
         self.endpoint.crash()
         self.device.crash()
         self.wal.crash()
+        # lint: allow(dict-order) — engines inserted in partitioner order
         for engine in self.engines.values():
             engine.crash()
 

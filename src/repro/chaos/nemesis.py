@@ -28,7 +28,7 @@ what makes shrinking and regression tests possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core import SpinnakerCluster, SpinnakerConfig
@@ -490,6 +490,7 @@ def run_chaos(seed: int, config: Optional[ChaosConfig] = None,
     # -- heal and settle ------------------------------------------------
     cluster.network.heal()
     cluster.network.clear_link_faults()
+    # lint: allow(dict-order) — nodes inserted as node0..nodeN-1
     for name, node in cluster.nodes.items():
         if not node.alive:
             node.restart()
@@ -563,6 +564,7 @@ def _read_back(cluster: SpinnakerCluster,
                           what="durability read-back")
     except SimulationError:
         return [f"read-back did not finish by t={sim.now:.4f}"]
+    # lint: allow(dict-order) — read_all fills results in sorted key order
     for key, got in proc.result().items():
         versions = workload.acked[key]
         top = max(versions)

@@ -81,7 +81,7 @@ def check_strong_history(history: HistoryRecorder) -> List[Violation]:
     """Check the strong-consistency rules; returns violations (empty =
     the history is consistent)."""
     violations: List[Violation] = []
-    for key in history.keys():
+    for key in sorted(history.keys()):
         ops = history.operations(key)
         writes = [op for op in ops if op.kind == "write" and op.ok]
         failed_writes = [op for op in ops

@@ -60,6 +60,7 @@ class SpinnakerCluster:
     # ------------------------------------------------------------------
     def start(self, ready_timeout: float = 60.0) -> None:
         """Boot every node and run until all cohorts have open leaders."""
+        # lint: allow(dict-order) — nodes inserted as node0..nodeN-1
         for node in self.nodes.values():
             node.boot()
         self.run_until(self.is_ready, limit=ready_timeout,

@@ -105,7 +105,7 @@ class ClientTransaction:
 
 
 @dataclass(frozen=True)
-class WhoIsLeader:
+class WhoIsLeader:  # lint: allow(dead-message) — sent by external clients
     """Routing helper: ask any cohort member who it thinks leads."""
 
     cohort_id: int
@@ -201,6 +201,7 @@ class TakeoverState:
 
 
 @dataclass(frozen=True)
-class SSTableShipment:
+class SSTableShipment:  # lint: allow(dead-message) — reserved; shipped
+    # tables currently ride inside CatchupReply.sstables (§6.1)
     cohort_id: int
     tables: Tuple

@@ -74,7 +74,10 @@ class SpinnakerNode:
         self.alive = False
         self.incarnation = 0
         self.session_losses = 0
-        self._procs: set = set()
+        #: live handler processes in spawn order (dict-as-ordered-set:
+        #: crash() must interrupt them deterministically, and set
+        #: iteration order would vary run to run)
+        self._procs: Dict[Process, None] = {}
         self._monitors: List[Process] = []
         #: failures of handler processes that were NOT deliberate kills —
         #: tests assert this stays empty (protocol bugs surface here)
@@ -86,10 +89,10 @@ class SpinnakerNode:
     def spawn(self, gen, name: str = "") -> Process:
         """Start a handler process tracked for crash-time termination."""
         proc = spawn(self.sim, gen, name=f"{self.name}:{name}")
-        self._procs.add(proc)
+        self._procs[proc] = None
 
         def _done(ev):
-            self._procs.discard(proc)
+            self._procs.pop(proc, None)
             if not ev._ok:
                 ev.defuse()
                 if not isinstance(ev._value, ProcessKilled):
@@ -185,6 +188,7 @@ class SpinnakerNode:
         yield from self.zk.start()
         # Local recovery (§6.1 phase 1): all cohorts share one log scan in
         # the real system; we recover them in turn, charging the same CPU.
+        # lint: allow(dict-order) — replicas inserted in partitioner order
         for replica in self.replicas.values():
             replica.prepare_restart()
             yield from local_recovery(replica)
@@ -212,6 +216,7 @@ class SpinnakerNode:
             if proc.is_alive:
                 proc.interrupt("session-loss")
         self._monitors = []
+        # lint: allow(dict-order) — replicas inserted in partitioner order
         for replica in self.replicas.values():
             replica.step_down()
         zk.stop()
@@ -256,6 +261,7 @@ class SpinnakerNode:
         self.endpoint.crash()
         self.device.crash()
         self.wal.crash()
+        # lint: allow(dict-order) — replicas inserted in partitioner order
         for replica in self.replicas.values():
             replica.crash()
 
@@ -306,6 +312,9 @@ class SpinnakerNode:
             self.spawn(replica.handle_propose(req), "propose")
         elif isinstance(payload, Commit):
             replica.handle_commit(req.src, payload)
+        # An Ack's LSN embeds its epoch (Appendix B), so stale-epoch
+        # acks cannot advance the commit queue past discarded records.
+        # lint: allow(stale-epoch)
         elif isinstance(payload, Ack):
             # One-way ack (sent during follower-driven catch-up).
             replica.queue.add_ack_upto(payload.lsn, payload.sender)

@@ -326,6 +326,7 @@ class CohortReplica:
             ev.defuse()
             return
         ack = ev._value
+        # lint: allow(stale-epoch) — Ack LSNs embed the epoch (App. B)
         if not isinstance(ack, Ack) or ack.cohort_id != self.cohort_id:
             return
         self.queue.add_ack_upto(ack.lsn, ack.sender)

@@ -10,7 +10,7 @@ a property the regression tests rely on.
 from __future__ import annotations
 
 import hashlib
-import random
+import random  # lint: allow(nondet-import) — this IS the seeded source
 from typing import Dict
 
 __all__ = ["RngRegistry"]
@@ -34,6 +34,12 @@ class RngRegistry:
         return rng
 
     def fork(self, salt: str) -> "RngRegistry":
-        """A registry whose streams are independent of this one's."""
-        digest = hashlib.sha256(f"{self.seed}:fork:{salt}".encode()).digest()
+        """A registry whose streams are independent of this one's.
+
+        The digest input is namespaced with a separator that cannot
+        appear between the seed and a stream name (streams hash
+        ``"{seed}:{name}"``), so ``fork("x")`` can never collide with a
+        stream literally named ``"fork:x"``.
+        """
+        digest = hashlib.sha256(f"{self.seed}|fork|{salt}".encode()).digest()
         return RngRegistry(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,23 @@
+"""Fixture: code every rule should accept."""
+
+from typing import Dict, Set
+
+
+def deterministic(rng_registry, items: Set[str],
+                  table: Dict[str, int]) -> list:
+    rng = rng_registry.stream("fixture")
+    out = [rng.random()]
+    for name in sorted(items):          # sorted set iteration is fine
+        out.append(name)
+    for key in sorted(table.keys()):    # sorted dict view is fine
+        out.append(table[key])
+    total = sum(1 for _ in items)       # order-insensitive reduction
+    return out + [total]
+
+
+def formatting(table: Dict[str, int]) -> str:
+    # dict-view loop with no scheduling-visible effects: allowed
+    parts = []
+    for key, value in table.items():
+        parts = parts + [f"{key}={value}"]
+    return " ".join(parts)

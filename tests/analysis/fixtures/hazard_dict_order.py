@@ -1,0 +1,31 @@
+"""Fixture: dict iteration whose order feeds scheduling."""
+
+from typing import Dict
+
+nodes: Dict[str, object] = {}
+
+
+def crash_all(sim):
+    for name, node in nodes.items():         # dict-order: interrupts
+        node.interrupt("crash")
+
+
+def rebalance(sim):
+    for node in nodes.values():              # dict-order: spawns
+        spawn(sim, node.rejoin())
+
+
+def report() -> str:
+    out = []
+    for name in nodes.keys():                # no effects: allowed
+        out = out + [name]
+    return ",".join(out)
+
+
+def sorted_crash(sim):
+    for name in sorted(nodes.keys()):        # sorted: allowed
+        nodes[name].interrupt("crash")
+
+
+def spawn(sim, gen):
+    return gen

@@ -1,0 +1,17 @@
+"""Fixture: id()/hash() used as ordering keys."""
+
+
+def order_by_id(procs):
+    return sorted(procs, key=id)                      # id-hash-order
+
+
+def order_by_hash(events):
+    return sorted(events, key=lambda e: hash(e))      # id-hash-order
+
+
+def min_by_id(procs):
+    return min(procs, key=lambda p: (id(p), 0))       # id-hash-order
+
+
+def order_by_name(procs):
+    return sorted(procs, key=lambda p: p.name)        # fine

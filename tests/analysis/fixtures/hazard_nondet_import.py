@@ -1,0 +1,19 @@
+"""Fixture: every flavour of ambient-entropy hazard, unsuppressed."""
+
+import random                     # nondet-import (line 3)
+from datetime import datetime     # nondet-import (line 4)
+
+import os
+import uuid
+
+
+def jitter():
+    return random.random()
+
+
+def stamp():
+    return datetime.now()
+
+
+def token():
+    return os.urandom(8) + uuid.uuid4().bytes

@@ -1,0 +1,16 @@
+"""Fixture: real-world I/O and concurrency inside sim code."""
+
+import threading                  # real-io
+
+
+def persist(data):
+    with open("/tmp/out", "w") as fh:     # real-io
+        fh.write(data)
+
+
+def debug(msg):
+    print(msg)                            # real-io
+
+
+def fan_out(work):
+    return threading.Thread(target=work)

@@ -1,0 +1,30 @@
+"""Fixture: order-escaping set iteration, three shapes."""
+
+from typing import Set
+
+waiting: Set[str] = set()
+
+
+class Tracker:
+    def __init__(self):
+        self._procs = set()
+
+    def names(self):
+        return [p for p in self._procs]          # set-iteration (comp)
+
+    def snapshot(self):
+        return list(self._procs)                  # set-iteration (list)
+
+    def drain(self):
+        out = []
+        for proc in self._procs:                  # set-iteration (for)
+            out.append(proc)
+        return out
+
+    def sorted_ok(self):
+        return [p for p in sorted(self._procs)]   # fine
+
+
+def flush():
+    for name in waiting:                          # set-iteration (for)
+        yield name

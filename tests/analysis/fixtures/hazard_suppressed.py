@@ -1,0 +1,19 @@
+"""Fixture: the same hazards, each silenced by a pragma."""
+
+import random  # lint: allow(nondet-import)
+
+# lint: allow(nondet-import)
+from datetime import datetime
+
+procs = {object(), object()}
+
+# lint: allow(set-iteration)
+ordered = list(procs)
+
+
+def stamp():
+    return datetime.now()  # lint: allow(nondet-import)
+
+
+def jitter():
+    return random.random()

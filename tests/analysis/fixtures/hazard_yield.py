@@ -1,0 +1,32 @@
+"""Fixture: yield-discipline — process bodies yielding non-Events.
+
+``worker`` is spawned, so it is a process; ``helper`` is reached from a
+process via ``yield from``; ``plain_iterator`` is never spawned and may
+yield whatever it likes.
+"""
+
+
+def worker(sim):
+    yield                                  # yield-discipline (bare)
+    yield 0.5                              # yield-discipline (constant)
+    yield from helper(sim)
+    yield sim.timeout(1.0)                 # fine: event-shaped call
+
+
+def helper(sim):
+    yield (1, 2)                           # yield-discipline (literal)
+    yield sim.timeout(0.1)                 # fine
+
+
+def plain_iterator(records):
+    for record in records:
+        yield (record.lsn, record)         # fine: not a process body
+
+
+def boot(sim):
+    proc = spawn(sim, worker(sim))
+    return proc
+
+
+def spawn(sim, gen):
+    return gen

@@ -1,0 +1,10 @@
+"""Synthetic sender for the exhaustiveness-checker tests."""
+
+from .messages import Epochal, Orphan, Part, Ping
+
+
+def send_all(endpoint):
+    endpoint.send("node0", Ping(cohort_id=0,
+                                parts=(Part(key=b"k", value=b"v"),)))
+    endpoint.send("node0", Orphan(cohort_id=0))
+    endpoint.send("node0", Epochal(cohort_id=0, epoch=3))

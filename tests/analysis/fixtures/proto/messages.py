@@ -1,0 +1,48 @@
+"""Synthetic protocol catalog for the exhaustiveness-checker tests."""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Part:
+    """Component type: only ever embedded inside Ping."""
+
+    key: bytes
+    value: Optional[bytes]
+
+
+@dataclass(frozen=True)
+class Ping:
+    cohort_id: int
+    parts: Tuple[Part, ...]
+
+
+@dataclass(frozen=True)
+class Pong:
+    """Reply-only: returned by the node, never dispatched."""
+
+    cohort_id: int
+    ok: bool
+
+
+@dataclass(frozen=True)
+class Orphan:
+    """Deliberately unhandled: sent by the client, no dispatcher branch."""
+
+    cohort_id: int
+
+
+@dataclass(frozen=True)
+class Unused:
+    """Deliberately dead: never constructed anywhere."""
+
+    cohort_id: int
+
+
+@dataclass(frozen=True)
+class Epochal:
+    """Handled, but its handler never reads .epoch."""
+
+    cohort_id: int
+    epoch: int

@@ -1,0 +1,18 @@
+"""Synthetic dispatcher for the exhaustiveness-checker tests."""
+
+from .messages import Epochal, Ping, Pong
+
+
+class Node:
+    def dispatch(self, req):
+        payload = req.payload
+        if isinstance(payload, Ping):
+            req.respond(self.handle_ping(payload))
+        elif isinstance(payload, Epochal):
+            self.handle_epochal(payload)
+
+    def handle_ping(self, msg: Ping) -> Pong:
+        return Pong(cohort_id=msg.cohort_id, ok=True)
+
+    def handle_epochal(self, msg) -> None:
+        self.last = msg.cohort_id    # note: never reads msg.epoch

@@ -1,0 +1,93 @@
+"""Tier-1 gate: the full lint suite over ``src/repro`` must stay green.
+
+This is the enforcement point for the determinism invariants listed in
+DESIGN.md: any new nondeterminism hazard or protocol gap in the tree
+fails CI here, exactly as ``python -m repro lint`` fails in the shell.
+A second set of tests proves the gate actually fires by injecting a
+hazard into a copy of a package and watching the exit code flip.
+"""
+
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.analysis import run_lint
+from repro.analysis.cli import main as lint_main
+
+REPRO_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+def test_tree_is_lint_clean():
+    result = run_lint(REPRO_ROOT,
+                      baseline_path=BASELINE if BASELINE.exists() else None)
+    assert result.parse_errors == []
+    assert result.findings == [], "\n".join(
+        f.format() for f in result.findings)
+    assert result.files_checked > 50
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    rc = lint_main([str(REPRO_ROOT)]
+                   + (["--baseline", str(BASELINE)]
+                      if BASELINE.exists() else []))
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "OK" in out
+
+
+def _copy_tree_with_hazard(tmp_path: Path) -> Path:
+    """A copy of the sim package plus one injected hazard module."""
+    tree = tmp_path / "tree"
+    shutil.copytree(REPRO_ROOT / "sim", tree / "sim")
+    (tree / "sim" / "injected_hazard.py").write_text(
+        "import random\n"
+        "def jitter():\n"
+        "    return random.random()\n")
+    return tree
+
+
+def test_cli_exits_nonzero_on_injected_hazard(tmp_path, capsys):
+    tree = _copy_tree_with_hazard(tmp_path)
+    rc = lint_main([str(tree), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "sim/injected_hazard.py:1" in out
+    assert "[nondet-import]" in out
+    assert "FAIL" in out
+
+
+def test_cli_json_output_reports_injected_hazard(tmp_path, capsys):
+    tree = _copy_tree_with_hazard(tmp_path)
+    rc = lint_main([str(tree), "--no-baseline", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["ok"] is False
+    hazards = [f for f in payload["findings"]
+               if f["path"] == "sim/injected_hazard.py"]
+    assert hazards and hazards[0]["rule"] == "nondet-import"
+    assert hazards[0]["line"] == 1
+
+
+def test_rule_filter_restricts_findings(tmp_path, capsys):
+    tree = _copy_tree_with_hazard(tmp_path)
+    rc = lint_main([str(tree), "--no-baseline", "--rule", "set-iteration"])
+    out = capsys.readouterr().out
+    assert rc == 0, out  # the injected hazard is a nondet-import
+    assert "OK" in out
+
+
+def test_module_entrypoint_runs_lint():
+    # `python -m repro lint` end to end, as CI invokes it.
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", str(REPRO_ROOT),
+         "--baseline", str(BASELINE)],
+        capture_output=True, text=True, timeout=120,
+        cwd=str(REPO_ROOT),
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK" in proc.stdout
