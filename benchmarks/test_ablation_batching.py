@@ -1,0 +1,22 @@
+"""Ablation: leader proposal batching.
+
+Regenerates the experiment via
+:func:`repro.bench.experiments.ablation_batching`, prints the swept
+load curves per batch cap, and asserts the expected shape: the knee
+moves out ≥1.5x at ``propose_batch_max_records=8`` (once the scale is
+large enough to saturate the unbatched pipeline) while the lowest load
+point pays no latency tax.
+"""
+
+from repro.bench.experiments import ablation_batching
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_ablation_batching(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_batching(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

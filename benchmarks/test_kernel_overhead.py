@@ -1,0 +1,88 @@
+"""Simulator-kernel overhead guard.
+
+Everything the repo measures rides on the discrete-event kernel, so a
+slow kernel silently inflates every benchmark's wall time.  Two guards:
+
+* the hot per-event classes stay ``__slots__``-only (an accidental
+  ``__dict__`` costs both memory and attribute-lookup time on millions
+  of instances);
+* a microbenchmark drives the raw scheduler and the full process /
+  timeout machinery, asserting events-per-second floors generous enough
+  to pass on slow CI but far below healthy numbers — a 10x kernel
+  regression fails loudly, a 10% one shows up in the benchmark history.
+"""
+
+import time
+
+from repro.core.commitqueue import PendingWrite
+from repro.sim.events import Event, Simulator, _Entry
+from repro.sim.network import Request, _Envelope
+from repro.sim.process import Process, Timeout, spawn, timeout
+
+#: classes instantiated once (or more) per simulated event/message/write
+HOT_CLASSES = [Event, _Entry, Process, Timeout, Request, _Envelope,
+               PendingWrite]
+
+# Floors in events per wall-clock second.  Healthy numbers are an order
+# of magnitude higher; these only catch catastrophic regressions.
+RAW_FLOOR = 50_000
+PROCESS_FLOOR = 20_000
+
+
+def test_hot_classes_have_no_dict():
+    for cls in HOT_CLASSES:
+        offenders = [c.__name__ for c in cls.__mro__
+                     if "__dict__" in c.__dict__]
+        assert not offenders, (
+            f"{cls.__name__} instances grew a __dict__ via {offenders}; "
+            f"keep the per-event hot path __slots__-only")
+
+
+def _pump_callbacks(n):
+    """n self-rescheduling raw callbacks through the event heap."""
+    sim = Simulator()
+    state = {"left": n}
+
+    def tick():
+        if state["left"] > 0:
+            state["left"] -= 1
+            sim.schedule(1e-6, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    return n / (time.perf_counter() - start)
+
+
+def _pump_processes(n, n_procs=16):
+    """n timeout yields spread over concurrent generator processes."""
+    sim = Simulator()
+    per_proc = n // n_procs
+
+    def proc():
+        for _ in range(per_proc):
+            yield timeout(sim, 1e-6)
+
+    for _ in range(n_procs):
+        spawn(sim, proc())
+    start = time.perf_counter()
+    sim.run()
+    return (per_proc * n_procs) / (time.perf_counter() - start)
+
+
+def test_raw_event_loop_throughput(benchmark):
+    rate = benchmark.pedantic(lambda: _pump_callbacks(200_000),
+                              rounds=1, iterations=1)
+    print(f"\nraw scheduler: {rate:,.0f} events/s")
+    assert rate >= RAW_FLOOR, (
+        f"raw event loop at {rate:,.0f} events/s "
+        f"(floor {RAW_FLOOR:,})")
+
+
+def test_process_machinery_throughput(benchmark):
+    rate = benchmark.pedantic(lambda: _pump_processes(100_000),
+                              rounds=1, iterations=1)
+    print(f"\nprocess+timeout: {rate:,.0f} events/s")
+    assert rate >= PROCESS_FLOOR, (
+        f"process machinery at {rate:,.0f} events/s "
+        f"(floor {PROCESS_FLOOR:,})")

@@ -29,6 +29,7 @@ __all__ = [
     "fig15_weak_writes", "fig16_memory_log",
     "ablation_parallel_propose", "ablation_group_commit",
     "ablation_piggyback_commits", "ablation_skewed_reads",
+    "ablation_batching",
     "ALL_EXPERIMENTS",
 ]
 
@@ -199,8 +200,14 @@ def table1_recovery(scale: float = 1.0, seed: int = 2,
     if len(times) >= 2:
         slope = ((times[-1] - times[0])
                  / (rows[-1]["commit_period_s"] - rows[0]["commit_period_s"]))
-        result.checks["roughly_linear_slope"] = 0.05 < slope < 1.0
-        result.notes = f"slope={slope:.3f} s/s (paper ~0.26 s/s)"
+        # The paper measures ~0.26 s of recovery per second of commit
+        # period; proposal batching re-proposes the unresolved tail in
+        # multi-record batches, cutting the constant to ~0.04 s/s while
+        # keeping recovery proportional to the period (see
+        # EXPERIMENTS.md, "Ablation: proposal batching").
+        result.checks["roughly_linear_slope"] = 0.01 < slope < 1.0
+        result.notes = (f"slope={slope:.3f} s/s (paper ~0.26 s/s "
+                        f"unbatched; batched re-propose shrinks it)")
     return result
 
 
@@ -486,8 +493,13 @@ def ablation_piggyback_commits(scale: float = 1.0,
         "ablation-piggyback", "Commit piggybacking vs recovery time")
     rows_plain, rows_piggy = [], []
     for period in periods:
-        plain = _measure_recovery(period, seed)
-        cfg = SpinnakerConfig(piggyback_commits=True)
+        # Batching off in both arms: batched takeover re-propose also
+        # flattens recovery, which would mask the effect this ablation
+        # isolates (the unresolved-window size).
+        plain = _measure_recovery(
+            period, seed, config=SpinnakerConfig(propose_batching=False))
+        cfg = SpinnakerConfig(piggyback_commits=True,
+                              propose_batching=False)
         piggy = _measure_recovery(period, seed, config=cfg)
         rows_plain.append({"commit_period_s": period,
                            "recovery_time_s": round(plain, 3)})
@@ -539,6 +551,55 @@ def ablation_skewed_reads(scale: float = 1.0,
     return result
 
 
+def ablation_batching(scale: float = 1.0,
+                      seed: int = 1) -> ExperimentResult:
+    """Leader proposal batching: where does the write knee move?
+
+    Fig. 16's memory-log configuration isolates the per-message CPU
+    overheads that batching amortizes (no log device in the way).  Sweep
+    the batch-size cap under heavy concurrency and locate the knee: the
+    batcher should multiply peak throughput while an idle pipeline keeps
+    flushing every write immediately (no low-load latency tax).
+    """
+    ths = _threads([16, 128, 512, 1024], scale)
+    ops = _ops(scale, 40)
+    result = ExperimentResult(
+        "ablation-batching", "Proposal batching: throughput knee vs cap")
+    for label, cap in (("batching-off", None), ("batch-4", 4),
+                       ("batch-8", 8), ("batch-16", 16)):
+        cfg = SpinnakerConfig(log_profile=DiskProfile.memory_log())
+        if cap is None:
+            cfg.propose_batching = False
+        else:
+            cfg.propose_batch_max_records = cap
+        result.series[label] = [
+            run_load(SpinnakerTarget(10, config=cfg, seed=seed),
+                     write_workload(), t, ops_per_thread=ops,
+                     warmup_ops=10) for t in ths]
+    off = result.series["batching-off"]
+    b8 = result.series["batch-8"]
+    peak_off, peak_b8 = _max_load(off), _max_load(b8)
+    # The knee only shows once offered load saturates the unbatched
+    # pipeline; smoke scales (< ~80 closed-loop threads) cannot drive it
+    # there, so the throughput check needs a real sweep.
+    if scale >= 0.25:
+        result.checks["batch8_peak_1_5x"] = peak_b8 >= 1.5 * peak_off
+        # Past the sweet spot returns plateau: cap 16 must stay in the
+        # batched regime (well above off), not beat cap 8.
+        result.checks["cap_16_stays_in_batched_regime"] = (
+            _max_load(result.series["batch-16"]) >= 0.85 * peak_b8)
+    result.checks["low_load_latency_within_5pct"] = (
+        b8[0].mean_ms <= off[0].mean_ms * 1.05)
+    result.notes = (
+        f"peak req/s: off={peak_off:.0f} "
+        f"b4={_max_load(result.series['batch-4']):.0f} "
+        f"b8={peak_b8:.0f} "
+        f"b16={_max_load(result.series['batch-16']):.0f} "
+        f"(knee shift {peak_b8 / peak_off:.2f}x); low-load ms: "
+        f"off={off[0].mean_ms:.2f} b8={b8[0].mean_ms:.2f}")
+    return result
+
+
 #: registry used by the CLI report and the benchmark suite
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8_read_latency,
@@ -554,4 +615,5 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-groupcommit": ablation_group_commit,
     "ablation-piggyback": ablation_piggyback_commits,
     "ablation-skew": ablation_skewed_reads,
+    "ablation-batching": ablation_batching,
 }

@@ -1,9 +1,12 @@
 """Rendering experiment results as the rows/series the paper reports.
 
-``python -m repro.bench.report [exp ...] [--scale S] [--json FILE]`` runs
-experiments and prints their tables plus shape-check verdicts;
-EXPERIMENTS.md records a full-scale run.  ``--json`` additionally writes
-machine-readable results for downstream tooling.
+``python -m repro.bench.report [exp ...] [--scale S] [--json FILE]
+[--report FILE]`` runs experiments and prints their tables plus
+shape-check verdicts; EXPERIMENTS.md records a full-scale run.
+``--json`` additionally writes full machine-readable results for
+downstream tooling; ``--report`` writes the compact per-experiment
+summary (``BENCH_report.json`` at the repo root) that successive PRs
+diff to track performance.
 """
 
 from __future__ import annotations
@@ -11,12 +14,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import sys
-from typing import List
+from typing import Dict, List
 
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .harness import LoadPoint
 
-__all__ = ["render", "to_dict", "main"]
+__all__ = ["render", "to_dict", "summarize", "write_bench_report", "main"]
 
 
 def to_dict(result: ExperimentResult) -> dict:
@@ -35,6 +38,46 @@ def to_dict(result: ExperimentResult) -> dict:
         "passed": result.passed,
         "notes": result.notes,
     }
+
+
+def summarize(result: ExperimentResult) -> dict:
+    """A compact, diff-friendly summary of one experiment.
+
+    Load-point series collapse to the numbers a perf reviewer compares
+    across PRs — peak sustained throughput and the latency at the lowest
+    load point; row series (recovery tables) are kept verbatim.
+    """
+    series: Dict[str, object] = {}
+    for label, data in result.series.items():
+        if data and isinstance(data[0], LoadPoint):
+            series[label] = {
+                "points": len(data),
+                "peak_throughput_rps": round(
+                    max(p.throughput for p in data), 1),
+                "low_load_mean_ms": round(data[0].mean_ms, 3),
+                "low_load_p95_ms": round(data[0].p95_ms, 3),
+            }
+        else:
+            series[label] = list(data)
+    return {
+        "title": result.title,
+        "passed": result.passed,
+        "checks": dict(result.checks),
+        "series": series,
+        "notes": result.notes,
+    }
+
+
+def write_bench_report(results: List[ExperimentResult], path: str,
+                       scale: float) -> None:
+    """Write the cross-PR perf-tracking summary (``BENCH_report.json``)."""
+    payload = {
+        "scale": scale,
+        "experiments": {r.exp_id: summarize(r) for r in results},
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _render_points(label: str, points: List[LoadPoint]) -> List[str]:
@@ -78,6 +121,7 @@ def render(result: ExperimentResult) -> str:
 def main(argv: List[str]) -> int:
     scale = 1.0
     json_path = None
+    report_path = None
     names: List[str] = []
     it = iter(argv)
     for arg in it:
@@ -85,12 +129,15 @@ def main(argv: List[str]) -> int:
             scale = float(next(it))
         elif arg == "--json":
             json_path = next(it)
+        elif arg == "--report":
+            report_path = next(it)
         else:
             names.append(arg)
     if not names:
         names = list(ALL_EXPERIMENTS)
     status = 0
     collected = []
+    results = []
     for name in names:
         fn = ALL_EXPERIMENTS.get(name)
         if fn is None:
@@ -101,6 +148,7 @@ def main(argv: List[str]) -> int:
         print(render(result))
         print()
         collected.append(to_dict(result))
+        results.append(result)
         if not result.passed:
             status = 1
     if json_path is not None:
@@ -108,6 +156,9 @@ def main(argv: List[str]) -> int:
             json.dump({"scale": scale, "results": collected}, fh,
                       indent=2)
         print(f"wrote {json_path}")
+    if report_path is not None:
+        write_bench_report(results, report_path, scale)
+        print(f"wrote {report_path}")
     return status
 
 

@@ -115,6 +115,12 @@ class SpinnakerCluster:
                                      for r in node.replicas.values()),
                 "proposes_handled": sum(r.proposes_handled
                                         for r in node.replicas.values()),
+                "propose_batches_sent": sum(
+                    r.batcher.batches_sent
+                    for r in node.replicas.values()),
+                "records_batched": sum(
+                    r.batcher.records_batched
+                    for r in node.replicas.values()),
                 "pending_writes": sum(len(r.queue)
                                       for r in node.replicas.values()),
                 "leader_of": [cid for cid, r in node.replicas.items()

@@ -121,6 +121,17 @@ class CommitQueue:
             self.committed_lsn = upto
         return committed
 
+    def pending_older_than(self, lsn: LSN, limit: int) -> int:
+        """Number of pending entries strictly below ``lsn``, capped at
+        ``limit`` — the proposal batcher's congestion probe.  Entries are
+        LSN-ordered, so this is O(limit), not O(queue depth)."""
+        count = 0
+        for pending_lsn in self._entries:
+            if pending_lsn >= lsn or count >= limit:
+                break
+            count += 1
+        return count
+
     # ------------------------------------------------------------------
     def drop(self, lsn: LSN) -> Optional[WriteRecord]:
         """Remove a pending write that was discarded (logical truncation)."""

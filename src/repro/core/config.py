@@ -32,6 +32,24 @@ class SpinnakerConfig:
     #: log force.  False serializes them (ablation bench).
     parallel_force_and_propose: bool = True
 
+    # -- proposal batching (leader write pipeline; see core/batching.py) --
+    #: coalesce independent client writes into multi-record proposes
+    #: with one batched WAL force and one cumulative ack per peer
+    propose_batching: bool = True
+    #: flush a batch once it holds this many records ...
+    propose_batch_max_records: int = 8
+    #: ... or this many encoded bytes
+    propose_batch_max_bytes: int = 64 * 1024
+    #: longest the leader may hold a write back waiting for company
+    propose_batch_window: float = 1.0e-3
+    #: open the window only under queuing pressure (older writes still
+    #: awaiting commit), so an idle cohort never pays it; False waits
+    #: out the window unconditionally (fixed-delay ablation)
+    propose_batch_adaptive: bool = True
+    #: follower CPU cost per *extra* record in a batched propose (the
+    #: first record pays the full ``write_follower_service``)
+    propose_record_service: float = 0.03e-3
+
     # -- hardware model ----------------------------------------------------
     cores_per_node: int = 8
     log_profile: DiskProfile = field(default_factory=DiskProfile.sata_log)
@@ -87,6 +105,12 @@ class SpinnakerConfig:
             raise ValueError("acks_needed out of range")
         if self.commit_period <= 0:
             raise ValueError("commit_period must be positive")
+        if self.propose_batch_max_records < 1:
+            raise ValueError("propose_batch_max_records must be >= 1")
+        if self.propose_batch_max_bytes < 1:
+            raise ValueError("propose_batch_max_bytes must be >= 1")
+        if self.propose_batch_window <= 0:
+            raise ValueError("propose_batch_window must be positive")
         return self
 
     @property

@@ -16,9 +16,17 @@ leading two ranges while the revived peer leads none.  This module adds:
   even out per-node leader counts, preferring each cohort's base-range
   owner (Fig. 2 placement).
 
-Interrupted handoffs degrade to ordinary failure handling: if either
-node dies mid-transfer the leader znode disappears with its session and
-a regular election picks the max-n.lst survivor.
+Interrupted handoffs degrade to ordinary failure handling.  If the old
+leader dies mid-transfer the leader znode disappears with its session
+and a regular election picks the max-n.lst survivor.  The reverse hole
+— the successor dying *after* being named but *before* re-owning the
+znode (which until then still belongs to the old leader's session, so
+its death deletes nothing) — is closed by a watchdog on the old leader:
+if the cohort epoch has not been bumped within a session timeout of the
+handoff, the old leader deletes the znode it still owns, and the
+ordinary election takes over.  Committed writes are never at risk: the
+drain step finished before the successor was named, so every survivor
+of the quorum holds them and the max-n.lst rule finds one.
 """
 
 from __future__ import annotations
@@ -86,12 +94,56 @@ def transfer_leadership(replica, successor: str):
         except CoordError:
             return False
         replica.open_for_writes = False
+        epoch_at_handoff = replica.epoch
         replica.set_leader(successor)
+        node.spawn(_handoff_watchdog(replica, successor, epoch_at_handoff),
+                   f"handoff-watchdog-{replica.cohort_id}")
         node.trace("replication", "leadership transferred",
                    cohort=replica.cohort_id, to=successor)
         return True
     finally:
         replica.unblock_writes()
+
+
+def _handoff_watchdog(replica, successor: str, epoch_at_handoff: int):
+    """Guard a graceful handoff against the successor dying mid-way.
+
+    Until the successor re-owns the ``leader`` znode (bumping the epoch
+    in the process), the znode still belongs to the *old* leader's
+    session — so a successor crash deletes nothing and would leave the
+    cohort leaderless forever.  Watch for the epoch bump; if it has not
+    happened within a session timeout, delete the znode we still own so
+    the ordinary election takes over.
+    """
+    node, cfg = replica.node, replica.node.config
+    zk = node.zk
+    root = cohort_zk_path(replica.cohort_id)
+    deadline = node.sim.now + cfg.session_timeout
+    while node.alive and node.zk is zk:
+        try:
+            data, _ = yield from zk.get(f"{root}/epoch")
+            if int(data) > epoch_at_handoff:
+                return          # successor assumed leadership; disarm
+        except CoordError:
+            pass
+        if node.sim.now >= deadline:
+            break
+        yield timeout(node.sim, cfg.election_retry / 2)
+    if not node.alive or node.zk is not zk:
+        return
+    try:
+        data, _ = yield from zk.get(f"{root}/leader")
+    except CoordError:
+        return                  # already gone: an election is underway
+    if data.decode() != successor:
+        return                  # somebody else took over meanwhile
+    node.trace("replication", "handoff watchdog: successor never "
+               "assumed leadership; forcing election",
+               cohort=replica.cohort_id, successor=successor)
+    try:
+        yield from zk.delete(f"{root}/leader")
+    except CoordError:
+        pass
 
 
 def plan_rebalance(partitioner, leaders: Dict[int, Optional[str]],

@@ -292,7 +292,7 @@ class SpinnakerNode:
                                 ClientTransaction)):
             replica = self.replica_for_key(payload.key)
             if replica is None:
-                req.respond({"ok": False, "code": "wrong-node"})
+                req.respond({"ok": False, "code": "wrong-node"}, size=64)
                 return
             if isinstance(payload, ClientGet):
                 self.spawn(replica.handle_get(req), "get")
@@ -304,7 +304,7 @@ class SpinnakerNode:
         replica = self.replicas.get(getattr(payload, "cohort_id", -1))
         if replica is None:
             if isinstance(payload, ClientScan):
-                req.respond({"ok": False, "code": "wrong-node"})
+                req.respond({"ok": False, "code": "wrong-node"}, size=64)
             return
         if isinstance(payload, ClientScan):
             self.spawn(replica.handle_scan(req), "scan")
@@ -342,12 +342,12 @@ class SpinnakerNode:
     def _handle_catchup_request(self, req: Request, replica: CohortReplica):
         if not replica.is_leader:
             req.respond({"ok": False, "code": "not-leader",
-                         "hint": replica.leader})
+                         "hint": replica.leader}, size=64)
             return
         yield from serve(self.cpu, self.config.takeover_record_service)
         if not replica.is_leader:
             req.respond({"ok": False, "code": "not-leader",
-                         "hint": replica.leader})
+                         "hint": replica.leader}, size=64)
             return
         reply = build_catchup_reply(replica, req.payload.follower_cmt)
         size = sum(r.encoded_size() for r in reply.records) + 128
@@ -359,7 +359,7 @@ class SpinnakerNode:
         caught up (§6.1), and hand over pending writes for acking."""
         if not replica.is_leader:
             req.respond({"ok": False, "code": "not-leader",
-                         "hint": replica.leader})
+                         "hint": replica.leader}, size=64)
             return
         replica.block_writes()
         try:

@@ -25,6 +25,7 @@ from ..sim.process import all_of, quorum, spawn, timeout
 from ..sim.resources import serve
 from ..storage.lsn import LSN
 from ..storage.records import CommitMarker
+from .batching import chunk_groups
 from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
                        Propose, TakeoverState)
 from .replication import Role
@@ -259,22 +260,36 @@ def leader_takeover(replica):
         except SimulationError:
             yield timeout(sim, cfg.election_retry)
 
-    # Line 9: re-propose writes in (l.cmt, l.lst], one at a time, through
-    # the normal replication protocol.  Sequential per-record resolution
-    # is what makes recovery time proportional to the commit period
-    # (Table 1).
+    # Line 9: re-propose writes in (l.cmt, l.lst] through the normal
+    # replication protocol, batched like the steady-state write pipeline
+    # (up to ``propose_batch_max_records`` per round).  Sequential
+    # per-round resolution is what keeps recovery time proportional to
+    # the commit period (Table 1); batching divides the round count.
     unresolved = node.wal.write_records(cohort_id, after=l_cmt, upto=l_lst)
-    for record in unresolved:
+    if cfg.propose_batching:
+        batches = chunk_groups([(r,) for r in unresolved],
+                               cfg.propose_batch_max_records,
+                               cfg.propose_batch_max_bytes)
+    else:
+        batches = [[r] for r in unresolved]
+    for batch in batches:
         yield from serve(node.cpu, cfg.takeover_record_service)
         self_done = Event(sim)
-        replica.queue.add(record,
-                          on_commit=lambda _r, ev=self_done: ev.succeed())
-        replica.queue.mark_forced(record.lsn)  # already in our durable log
+        state = {"left": len(batch)}
+
+        def _committed(_record, state=state, ev=self_done):
+            state["left"] -= 1
+            if state["left"] == 0 and not ev.triggered:
+                ev.succeed()
+
+        for record in batch:
+            replica.queue.add(record, on_commit=_committed)
+            replica.queue.mark_forced(record.lsn)  # already durable here
         propose = Propose(cohort_id=cohort_id, epoch=replica.epoch,
-                          records=(record,))
+                          records=tuple(batch))
+        size = sum(r.encoded_size() for r in batch) + 64
         for peer in replica.peers():
-            ack_ev = node.endpoint.request(
-                peer, propose, size=record.encoded_size() + 64)
+            ack_ev = node.endpoint.request(peer, propose, size=size)
             ack_ev.add_callback(replica._on_ack)
         yield self_done
 

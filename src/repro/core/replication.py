@@ -24,13 +24,14 @@ by any replica (possibly stale until the next commit message).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.events import Event
 from ..sim.process import all_of, timeout
 from ..sim.resources import serve
 from ..storage.lsn import LSN
 from ..storage.records import CommitMarker, WriteRecord
+from .batching import ProposalBatcher
 from .commitqueue import CommitQueue
 from .datamodel import GetResult, PutResult
 from .messages import (Ack, ClientGet, ClientMultiWrite, ClientWrite, Commit,
@@ -67,6 +68,7 @@ class CohortReplica:
         self.cohort_id = cohort.cohort_id
         self.engine = node.make_engine(cohort.cohort_id)
         self.queue = CommitQueue(acks_needed=node.config.acks_needed)
+        self.batcher = ProposalBatcher(self)
         self.role = Role.RECOVERING
         self.epoch = 0
         self.leader: Optional[str] = None
@@ -139,19 +141,19 @@ class CohortReplica:
         node, cfg = self.node, self.node.config
         msg = req.payload
         if not self.is_leader:
-            req.respond(_err("not-leader", self.leader))
+            req.respond(_err("not-leader", self.leader), size=64)
             return
         if not self.open_for_writes:
-            req.respond(_err("unavailable", self.leader))
+            req.respond(_err("unavailable", self.leader), size=64)
             return
         while self.write_block is not None:
             yield self.write_block
             if not self.is_leader or not self.open_for_writes:
-                req.respond(_err("not-leader", self.leader))
+                req.respond(_err("not-leader", self.leader), size=64)
                 return
         yield from serve(node.cpu, cfg.write_leader_service)
         if not self.is_leader or not self.open_for_writes:
-            req.respond(_err("not-leader", self.leader))
+            req.respond(_err("not-leader", self.leader), size=64)
             return
         # Conditional writes pay a read + version compare first (§5.1).
         column_ops = self._column_ops(msg)
@@ -162,8 +164,10 @@ class CohortReplica:
                     continue
                 actual = self.latest_version(msg.key, colname)
                 if actual != expected:
-                    req.respond({"ok": False, "code": "version-mismatch",
-                                 "expected": expected, "actual": actual})
+                    req.respond(
+                        {"ok": False, "code": "version-mismatch",
+                         "expected": expected, "actual": actual},
+                        size=64)
                     return
         records = self._make_records(msg, column_ops)
         if cfg.parallel_force_and_propose:
@@ -192,23 +196,23 @@ class CohortReplica:
         node, cfg = self.node, self.node.config
         txn = req.payload
         if not self.is_leader or not self.open_for_writes:
-            req.respond(_err("not-leader", self.leader))
+            req.respond(_err("not-leader", self.leader), size=64)
             return
         while self.write_block is not None:
             yield self.write_block
             if not self.is_leader or not self.open_for_writes:
-                req.respond(_err("not-leader", self.leader))
+                req.respond(_err("not-leader", self.leader), size=64)
                 return
         yield from serve(node.cpu, cfg.write_leader_service
                          + 0.05e-3 * max(0, len(txn.ops) - 1))
         if not self.is_leader or not self.open_for_writes:
-            req.respond(_err("not-leader", self.leader))
+            req.respond(_err("not-leader", self.leader), size=64)
             return
         for op in txn.ops:
             owner = node.replica_for_key(op.key)
             if owner is not self:
                 req.respond({"ok": False, "code": "cross-cohort",
-                             "hint": None})
+                             "hint": None}, size=64)
                 return
         if any(op.expected_version is not None for op in txn.ops):
             yield from serve(node.cpu, cfg.conditional_check_service)
@@ -217,9 +221,10 @@ class CohortReplica:
                     continue
                 actual = self.latest_version(op.key, op.colname)
                 if actual != op.expected_version:
-                    req.respond({"ok": False, "code": "version-mismatch",
-                                 "expected": op.expected_version,
-                                 "actual": actual})
+                    req.respond(
+                        {"ok": False, "code": "version-mismatch",
+                         "expected": op.expected_version,
+                         "actual": actual}, size=64)
                     return
         records: List[WriteRecord] = []
         staged: Dict[Tuple[bytes, bytes], int] = {}
@@ -292,6 +297,11 @@ class CohortReplica:
         if already_logged:
             for record in records:
                 self._on_local_force(record.lsn)
+        elif cfg.propose_batching:
+            # Batched pipeline: the batcher owns the force + propose and
+            # keeps submitted groups indivisible, so ``atomic`` holds.
+            self.batcher.submit(records)
+            return done
         elif atomic:
             batch_ev = node.wal.append_batch(records)
 
@@ -306,6 +316,12 @@ class CohortReplica:
                 force_ev = node.wal.append(record, force=True)
                 force_ev.add_callback(
                     lambda _ev, lsn=record.lsn: self._on_local_force(lsn))
+        self.send_propose(records)
+        return done
+
+    def send_propose(self, records: Sequence[WriteRecord]) -> None:
+        """Fan one (possibly multi-record) propose out to the peers."""
+        node, cfg = self.node, self.node.config
         propose = Propose(
             cohort_id=self.cohort_id, epoch=self.epoch,
             records=tuple(records),
@@ -315,7 +331,6 @@ class CohortReplica:
         for peer in self.peers():
             ack_ev = node.endpoint.request(peer, propose, size=size)
             ack_ev.add_callback(self._on_ack)
-        return done
 
     def _on_local_force(self, lsn: LSN) -> None:
         self.queue.mark_forced(lsn)
@@ -340,6 +355,7 @@ class CohortReplica:
         if committed:
             self.committed_lsn = self.queue.committed_lsn
             self.node.maybe_flush(self)
+            self.batcher.on_progress()
 
     # ------------------------------------------------------------------
     # Leader: periodic commit messages
@@ -381,7 +397,9 @@ class CohortReplica:
         if msg.epoch > self.epoch:
             self.epoch = msg.epoch
             self.set_leader(req.src)
-        yield from serve(node.cpu, cfg.write_follower_service)
+        yield from serve(node.cpu, cfg.write_follower_service
+                         + cfg.propose_record_service
+                         * (len(msg.records) - 1))
         if self.role not in (Role.FOLLOWER, Role.CANDIDATE):
             return
         missing = [
@@ -517,17 +535,17 @@ class CohortReplica:
             # writes — strong reads must wait for takeover to finish
             # (§6.2), exactly like writes do.
             if not (self.is_leader and self.open_for_writes):
-                req.respond(_err("not-leader", self.leader))
+                req.respond(_err("not-leader", self.leader), size=64)
                 return
             service = cfg.read_service + cfg.strong_read_overhead
         else:
             if self.role == Role.OFFLINE:
-                req.respond(_err("unavailable"))
+                req.respond(_err("unavailable"), size=64)
                 return
             service = cfg.read_service
         yield from serve(node.cpu, service)
         if msg.consistent and not self.is_leader:
-            req.respond(_err("not-leader", self.leader))
+            req.respond(_err("not-leader", self.leader), size=64)
             return
         cell = self.engine.get(msg.key, msg.colname)
         if cell is None or cell.tombstone:
@@ -545,10 +563,10 @@ class CohortReplica:
         msg = req.payload
         if msg.consistent:
             if not self.is_leader:
-                req.respond(_err("not-leader", self.leader))
+                req.respond(_err("not-leader", self.leader), size=64)
                 return
         elif self.role == Role.OFFLINE:
-            req.respond(_err("unavailable"))
+            req.respond(_err("unavailable"), size=64)
             return
         rows = self.engine.scan(msg.start_key, msg.end_key,
                                 limit=msg.limit)
@@ -557,7 +575,7 @@ class CohortReplica:
                    + cfg.scan_row_service * len(rows))
         yield from serve(node.cpu, service)
         if msg.consistent and not self.is_leader:
-            req.respond(_err("not-leader", self.leader))
+            req.respond(_err("not-leader", self.leader), size=64)
             return
         payload = [
             (key, {col: (cell.value, cell.version)
@@ -578,6 +596,7 @@ class CohortReplica:
         self.role = Role.OFFLINE
         self.open_for_writes = False
         self.leader = None
+        self.batcher.clear()
         self.queue.clear()
         self.engine.crash()
         self.electing = False
@@ -595,6 +614,7 @@ class CohortReplica:
         self.role = Role.RECOVERING
         self.leader = None
         self.open_for_writes = False
+        self.batcher.clear()
         self.electing = False
         self.candidate_path = None
         self._resyncing = False

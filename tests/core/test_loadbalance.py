@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import Role, SpinnakerCluster, SpinnakerConfig
+from repro.core import (DatastoreError, Role, SpinnakerCluster,
+                        SpinnakerConfig)
 from repro.core.loadbalance import plan_rebalance, transfer_leadership
 from repro.core.partition import RangePartitioner, key_of
 from repro.sim.disk import DiskProfile
@@ -117,6 +118,113 @@ def test_transfer_to_dead_successor_fails_cleanly():
     assert run(cluster, transfer_leadership(replica, victim)) is False
     assert cluster.leader_of(cohort_id) == leader
     assert replica.open_for_writes
+
+
+def test_leader_crash_mid_drain_degrades_to_election():
+    """The old leader dies while draining its queue: the handoff aborts,
+    its session expiry triggers a normal election, and every write that
+    was acked to a client survives."""
+    cluster = make_cluster(seed=43)
+    client = cluster.client()
+    cohort_id = 0
+    keys = cohort_keys(cluster, cohort_id, 10)
+
+    def committed():
+        for key in keys[:6]:
+            yield from client.put(key, b"c", b"durable")
+
+    run(cluster, committed())
+    leader_name = cluster.leader_of(cohort_id)
+    replica = cluster.replica(leader_name, cohort_id)
+    successor = replica.peers()[0]
+    # Cut the follower->leader ack paths so in-flight writes stay
+    # pending: the transfer's drain loop genuinely engages instead of
+    # completing trivially between scheduler steps.
+    for peer in replica.peers():
+        cluster.network.block(peer, leader_name, symmetric=False)
+    writers = [spawn(cluster.sim, client.put(key, b"c", b"inflight"))
+               for key in keys[6:]]
+    cluster.run_until(lambda: len(replica.queue) > 0, limit=5.0,
+                      step=0.001, what="writes pending")
+    handoff = spawn(cluster.sim, transfer_leadership(replica, successor))
+    cluster.run(0.05)
+    assert not handoff.triggered            # still draining
+    cluster.kill_leader(cohort_id)
+    cluster.network.heal()
+    cluster.run_until(lambda: handoff.triggered, limit=30.0,
+                      what="handoff aborts")
+    assert handoff.result() is False
+    cluster.run_until(lambda: cluster.leader_of(cohort_id) is not None,
+                      limit=30.0, what="re-election")
+    assert cluster.leader_of(cohort_id) != leader_name
+    # Every acked write — committed before or retried across the crash —
+    # must be readable; unacked in-flight writes may go either way.
+    acked = list(keys[:6])
+    cluster.run_until(lambda: all(w.triggered for w in writers),
+                      limit=60.0, what="in-flight writes resolve")
+    for key, writer in zip(keys[6:], writers):
+        try:
+            writer.result()
+        except DatastoreError:
+            continue
+        acked.append(key)
+    reader = cluster.client("client1")
+    for key in acked:
+        got = run(cluster, reader.get(key, b"c", consistent=True))
+        assert got.found, key
+    assert cluster.all_failures() == []
+
+
+def test_successor_crash_after_naming_degrades_to_election():
+    """The successor dies after being named in the leader znode but
+    before re-owning it.  The znode still belongs to the old leader's
+    session, so nothing expires on its own — the handoff watchdog must
+    force an election, and no committed write may be lost."""
+    cluster = make_cluster(seed=47)
+    client = cluster.client()
+    cohort_id = 1
+    keys = cohort_keys(cluster, cohort_id, 4)
+
+    def before():
+        for key in keys:
+            yield from client.put(key, b"c", b"durable")
+
+    run(cluster, before())
+    leader_name = cluster.leader_of(cohort_id)
+    replica = cluster.replica(leader_name, cohort_id)
+    successor = replica.peers()[0]
+    # Crash the successor at the exact sim instant the transfer
+    # completes: the watch notification is still in flight, so the
+    # successor never re-owns the znode.  (Advancing the clock even a
+    # millisecond first would let its monitor run assume_leadership,
+    # turning this into an ordinary leader crash.)
+    state = {}
+
+    def _crash_successor(_ev):
+        node = cluster.nodes[successor]
+        state["session"] = node.zk.session if node.zk else None
+        node.crash()
+
+    handoff = spawn(cluster.sim, transfer_leadership(replica, successor))
+    handoff.add_callback(_crash_successor)
+    cluster.run_until(lambda: handoff.triggered, limit=30.0,
+                      what="handoff")
+    assert handoff.result() is True
+    if state.get("session") is not None:
+        cluster.coord.expire_session_now(state["session"])
+    # The leader znode still belongs to the old leader's live session,
+    # so the successor's death expired nothing that names a leader.
+    assert cluster.leader_of(cohort_id) is None
+    cluster.run_until(lambda: cluster.leader_of(cohort_id) is not None,
+                      limit=30.0, what="watchdog + re-election")
+    new_leader = cluster.leader_of(cohort_id)
+    assert new_leader != successor
+    assert cluster.replica(new_leader, cohort_id).open_for_writes
+    reader = cluster.client("client1")
+    for key in keys:
+        got = run(cluster, reader.get(key, b"c", consistent=True))
+        assert got.found and got.value == b"durable"
+    assert cluster.all_failures() == []
 
 
 def test_plan_rebalance_restores_one_leader_per_node():
