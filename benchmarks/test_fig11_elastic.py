@@ -1,0 +1,24 @@
+"""Elastic growth (beyond the paper, §10): throughput ramps as two
+nodes join a loaded 5-node cluster and the rebalancer splits the hot
+range onto them.
+
+Regenerates the experiment via
+:func:`repro.bench.experiments.fig11_elastic`, prints the measured
+before/during/after throughput, and asserts the shape checks: routing
+convergence, new nodes leading the split ranges, zero failed strong
+reads, a clean invariant audit through mid-move crashes, and (at full
+scale) a >= 1.4x post-join throughput lift.
+"""
+
+from repro.bench.experiments import fig11_elastic
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig11_elastic(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_elastic(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -71,7 +71,7 @@ DEFAULT_PROTOCOLS: Tuple[ProtocolSpec, ...] = (
         senders=("core/api.py", "core/recovery.py", "core/election.py",
                  "core/loadbalance.py", "core/masterslave.py",
                  "core/cluster.py", "core/multiop.py",
-                 "core/commitqueue.py"),
+                 "core/commitqueue.py", "core/rebalance.py"),
     ),
     ProtocolSpec(
         name="baseline",

@@ -14,8 +14,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..baseline import CassandraConfig
+from ..chaos.invariants import InvariantAuditor
 from ..core import SpinnakerCluster, SpinnakerConfig
+from ..core.datamodel import RequestTimeout
 from ..core.partition import key_of
+from ..core.rebalance import Rebalancer, plan_join
 from ..sim.disk import DiskProfile
 from ..sim.process import spawn
 from .harness import CassandraTarget, LoadPoint, SpinnakerTarget, run_load
@@ -25,7 +28,8 @@ from .workload import (VALUE_SIZE, conditional_put_workload, mixed_workload,
 __all__ = [
     "ExperimentResult",
     "fig8_read_latency", "fig9_write_latency", "table1_recovery",
-    "fig11_scaling", "fig12_mixed", "fig13_ssd", "fig14_conditional_put",
+    "fig11_scaling", "fig11_elastic", "fig12_mixed", "fig13_ssd",
+    "fig14_conditional_put",
     "fig15_weak_writes", "fig16_memory_log",
     "ablation_parallel_propose", "ablation_group_commit",
     "ablation_piggyback_commits", "ablation_skewed_reads",
@@ -600,12 +604,230 @@ def ablation_batching(scale: float = 1.0,
     return result
 
 
+# ---------------------------------------------------------------------------
+# Elastic scale-out: throughput ramps as nodes join under load
+# ---------------------------------------------------------------------------
+
+def _elastic_config() -> SpinnakerConfig:
+    cfg = SpinnakerConfig(log_profile=DiskProfile.ssd_log())
+    cfg.commit_period = 0.2
+    # The moved range is briefly leaderless between the map switch and
+    # the child cohort's first election; clients must ride that window
+    # out on retries rather than surface it as a failed operation.
+    cfg.client_op_timeout = 30.0
+    cfg.client_max_retries = 600
+    return cfg
+
+
+def _keys_in_cohort(cluster, cohort_id: int, count: int,
+                    prefix: bytes) -> List[bytes]:
+    keys, i = [], 0
+    while len(keys) < count:
+        key = prefix + b"%d" % i
+        if cluster.partitioner.cohort_for_key(
+                key_of(key)).cohort_id == cohort_id:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def _observed_heat(cluster) -> Dict[int, float]:
+    """Per-cohort load from the replicas' served-op counters — the
+    planner input, measured rather than assumed."""
+    heat: Dict[int, float] = {}
+    for node in cluster.nodes.values():
+        for cid, replica in node.replicas.items():
+            heat[cid] = (heat.get(cid, 0.0) + replica.reads_served
+                         + replica.writes_served)
+    return heat
+
+
+def _elastic_chaos_move(seed: int, crash_joiner: bool):
+    """One audited split with a mid-move crash (the joining node or the
+    migration leader); returns (converged, invariant violations)."""
+    cluster = SpinnakerCluster(n_nodes=5, config=_elastic_config(),
+                               seed=seed)
+    cluster.start()
+    client = cluster.client("chaos-seed")
+    keys = _keys_in_cohort(cluster, 0, 10, b"chaos-")
+
+    def writer():
+        for key in keys:
+            yield from client.put(key, b"v", b"x")
+    proc = spawn(cluster.sim, writer())
+    cluster.run_until(lambda: proc.triggered, limit=120.0,
+                      what="chaos preload")
+    proc.result()
+
+    cluster.add_node("node5")
+    plans = plan_join(cluster.partitioner, ["node5"],
+                      heat={c.cohort_id: (100.0 if c.cohort_id == 0
+                                          else 1.0)
+                            for c in cluster.partitioner.cohorts})
+    auditor = InvariantAuditor(cluster)
+    audit_proc = spawn(cluster.sim, auditor.run(period=0.25))
+    reb = Rebalancer(cluster)
+    move = spawn(cluster.sim, reb.execute(plans, move_timeout=240.0))
+    cluster.run_until(lambda: reb.attempts >= 1, limit=60.0,
+                      what="first migration attempt")
+    cluster.run(0.05)                   # land the crash mid-move
+    if crash_joiner:
+        cluster.crash_node("node5")
+        cluster.expire_session_of("node5")
+        cluster.run(1.0)
+        cluster.restart_node("node5")
+    else:
+        killed = cluster.kill_leader(plans[0].cohort_id)
+        cluster.run(1.0)
+        if killed is not None:
+            cluster.restart_node(killed)
+    cluster.run_until(lambda: move.triggered, limit=300.0,
+                      what="chaos rebalance")
+    move.result()
+    cluster.run(2.0)                    # settle before the final audit
+    audit_proc.interrupt("done")
+    auditor.final_audit()
+    return reb.done, auditor.violations
+
+
+def fig11_elastic(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Beyond the paper (§10 future work): live cluster growth.
+
+    A 5-node cluster serves a sustained mixed load skewed ~70% onto
+    cohort 0's range; two nodes join mid-run and the rebalancer splits
+    the hot range onto them (leader-driven migration, atomic map
+    switch).  Throughput is measured before, during, and after the
+    moves: the post-join window must show the hot range's knee lifted
+    (>= 1.4x at full scale) with zero failed strong reads.  A chaos
+    coda replays the move while crashing first the joining node, then
+    the migration leader — the invariant auditor must stay clean.
+    """
+    threads = max(4, int(round(40 * scale)))
+    window = max(2.0, 10.0 * scale)
+    cluster = SpinnakerCluster(n_nodes=5, config=_elastic_config(),
+                               seed=seed)
+    cluster.start()
+    sim = cluster.sim
+    rng_master = cluster.rng.fork(f"elastic-{seed}")
+    value = b"x" * VALUE_SIZE
+    hot_keys = _keys_in_cohort(cluster, 0, 24, b"ek-")
+    cold_keys = [b"ck-%d" % i for i in range(48)]
+
+    seeder = cluster.client("elastic-seed")
+
+    def preload():
+        for key in hot_keys + cold_keys:
+            yield from seeder.put(key, b"v", value)
+    proc = spawn(sim, preload())
+    cluster.run_until(lambda: proc.triggered, limit=300.0,
+                      what="elastic preload")
+    proc.result()
+
+    stop = {"flag": False}
+    stats = {"ops": 0, "failed_strong": 0, "failed_writes": 0,
+             "drained": 0}
+
+    def load_thread(tid: int):
+        client = cluster.client(f"elastic{tid}")
+        rng = rng_master.stream(f"thread-{tid}")
+        while not stop["flag"]:
+            keys = hot_keys if rng.random() < 0.7 else cold_keys
+            key = keys[rng.randrange(len(keys))]
+            is_write = rng.random() < 0.5
+            try:
+                if is_write:
+                    yield from client.put(key, b"v", value)
+                else:
+                    yield from client.get(key, b"v", consistent=True)
+            except RequestTimeout:
+                stats["failed_writes" if is_write
+                      else "failed_strong"] += 1
+                continue
+            stats["ops"] += 1
+        stats["drained"] += 1
+
+    for tid in range(threads):
+        spawn(sim, load_thread(tid), name=f"elastic-thread-{tid}")
+
+    def measure(duration: float) -> float:
+        ops0, t0 = stats["ops"], sim.now
+        cluster.run(duration)
+        dt = sim.now - t0
+        return (stats["ops"] - ops0) / dt if dt > 0 else 0.0
+
+    cluster.run(3.0)                    # warm caches and leader routes
+    before = measure(window)
+
+    heat = _observed_heat(cluster)
+    cluster.add_node("node5")
+    cluster.add_node("node6")
+    plans = plan_join(cluster.partitioner, ["node5", "node6"], heat=heat)
+    reb = Rebalancer(cluster)
+    move_t0, move_ops0 = sim.now, stats["ops"]
+    move = spawn(sim, reb.execute(plans, move_timeout=300.0))
+    cluster.run_until(lambda: move.triggered, limit=900.0,
+                      what="elastic rebalance")
+    move.result()
+    move_dt = sim.now - move_t0
+    during = ((stats["ops"] - move_ops0) / move_dt if move_dt > 0
+              else 0.0)
+
+    cluster.run(1.0)                    # let the new leaders settle
+    after = measure(window)
+
+    stop["flag"] = True
+    cluster.run_until(lambda: stats["drained"] == threads, limit=120.0,
+                      what="elastic load drain")
+
+    result = ExperimentResult(
+        "fig11-elastic", "Elastic growth: throughput vs cluster size")
+    result.series["elastic"] = [
+        {"phase": "before", "nodes": 5, "throughput": round(before, 1)},
+        {"phase": "during-move", "nodes": 7,
+         "throughput": round(during, 1)},
+        {"phase": "after", "nodes": 7, "throughput": round(after, 1)},
+    ]
+
+    part = cluster.partitioner
+    result.checks["converged"] = (
+        reb.done and part.version == 1 + len(plans)
+        and all(cluster.leader_of(c.cohort_id) is not None
+                for c in part.cohorts))
+    result.checks["new_nodes_lead_split_ranges"] = all(
+        cluster.leader_of(p.new_cohort_id) == p.new_members[0]
+        for p in plans)
+    result.checks["zero_failed_strong_reads"] = (
+        stats["failed_strong"] == 0)
+    if scale >= 0.9:
+        # Closed-loop throughput only lifts once the hot leader was the
+        # bottleneck; smoke scales cannot drive it there.
+        result.checks["peak_ratio_geq_1_4"] = after >= 1.4 * before
+    joiner_ok, joiner_viol = _elastic_chaos_move(seed + 101,
+                                                 crash_joiner=True)
+    leader_ok, leader_viol = _elastic_chaos_move(seed + 202,
+                                                 crash_joiner=False)
+    result.checks["chaos_joiner_crash_clean"] = (
+        joiner_ok and not joiner_viol)
+    result.checks["chaos_leader_crash_clean"] = (
+        leader_ok and not leader_viol)
+    result.notes = (
+        f"{threads} threads, 70% hot-range ops; req/s "
+        f"before={before:.0f} during={during:.0f} after={after:.0f} "
+        f"(ratio {after / before if before else 0.0:.2f}x); "
+        f"move took {move_dt:.1f}s for {len(plans)} splits; "
+        f"failed strong reads={stats['failed_strong']}; chaos "
+        f"violations: joiner={len(joiner_viol)} "
+        f"leader={len(leader_viol)}")
+    return result
+
+
 #: registry used by the CLI report and the benchmark suite
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8_read_latency,
     "fig9": fig9_write_latency,
     "table1": table1_recovery,
     "fig11": fig11_scaling,
+    "fig11-elastic": fig11_elastic,
     "fig12": fig12_mixed,
     "fig13": fig13_ssd,
     "fig14": fig14_conditional_put,

@@ -136,8 +136,10 @@ class InvariantAuditor:
         record-for-record (key, column, value, version)."""
         cluster = self.cluster
         node_a, node_b = cluster.nodes[a], cluster.nodes[b]
-        rep_a = node_a.replicas[cohort_id]
-        rep_b = node_b.replicas[cohort_id]
+        rep_a = node_a.replicas.get(cohort_id)
+        rep_b = node_b.replicas.get(cohort_id)
+        if rep_a is None or rep_b is None:
+            return  # member still materializing its replica mid-migration
         upto = min(rep_a.committed_lsn, rep_b.committed_lsn)
         # Floor of the comparable window: rolled-over or checkpointed
         # records left the log legitimately, and records below a node's

@@ -14,7 +14,8 @@ from ..sim.events import Event
 from .client import CoordClient
 from .znode import CoordError, NoNodeError, NodeExistsError, WatchEvent
 
-__all__ = ["GroupMembership", "DistributedLock", "Barrier"]
+__all__ = ["GroupMembership", "DistributedLock", "Barrier",
+           "CohortMapBoard"]
 
 
 class GroupMembership:
@@ -58,6 +59,58 @@ class GroupMembership:
                 self.group_path, watcher=watcher))
         except NoNodeError:
             return []
+
+
+class CohortMapBoard:
+    """A monotonically versioned announcement board for the cohort map.
+
+    The migration leader publishes the new map version here after the
+    membership-change record commits; late joiners and operators read it
+    to learn the routing epoch without scanning any cohort's log.  The
+    znode holds ``<version>`` (optionally ``<version>|<payload>``) and
+    only ever moves forward: publish uses the znode's compare-and-set
+    version to lose races gracefully.
+    """
+
+    def __init__(self, client: CoordClient, path: str = "/map"):
+        self.client = client
+        self.path = path
+
+    def publish(self, version: int, payload: bytes = b""):
+        """Advance the board to ``version``; ``yield from`` me.  Returns
+        True if this call advanced it, False if it was already there."""
+        data = str(version).encode() + (b"|" + payload if payload else b"")
+        while True:
+            try:
+                cur, zver = yield from self.client.get(self.path)
+            except NoNodeError:
+                try:
+                    yield from self.client.create(self.path, data=data)
+                    return True
+                except NodeExistsError:
+                    continue
+            current = int(cur.split(b"|", 1)[0] or b"0")
+            if current >= version:
+                return False
+            try:
+                yield from self.client.set_data(self.path, data,
+                                                version=zver)
+                return True
+            except CoordError:
+                continue    # raced; re-read and re-check monotonicity
+
+    def read(self):
+        """Current (version, payload); (0, b"") when never published.
+        ``yield from`` me."""
+        try:
+            data, _ = yield from self.client.get(self.path)
+        except NoNodeError:
+            return 0, b""
+        if b"|" in data:
+            head, payload = data.split(b"|", 1)
+        else:
+            head, payload = data, b""
+        return int(head or b"0"), payload
 
 
 class DistributedLock:

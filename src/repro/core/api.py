@@ -13,9 +13,14 @@ concurrency control::
     # retry on VersionMismatch
 
 All methods are generator functions for use with ``yield from`` inside
-simulation processes.  Routing: the client caches each cohort's leader
-and follows ``not-leader`` hints; timeline reads pick a random live
-replica.  The coordination service is never on the client's path (§4.2).
+simulation processes.  Routing: the client works off an immutable
+:class:`~repro.core.partition.CohortMap` snapshot, caches each cohort's
+leader, and follows ``not-leader`` hints; timeline reads pick a random
+live replica.  When a ``wrong-node`` reply carries a ``map_version``
+newer than the snapshot, the client fetches a fresh map from the
+replying node and re-routes — elastic membership changes thus propagate
+to clients lazily, with no broadcast.  The coordination service is never
+on the client's path (§4.2).
 """
 
 from __future__ import annotations
@@ -30,8 +35,8 @@ from .config import SpinnakerConfig
 from .datamodel import (DatastoreError, GetResult, RequestTimeout,
                         VersionMismatch)
 from .messages import (ClientGet, ClientMultiWrite, ClientScan,
-                       ClientWrite)
-from .partition import RangePartitioner
+                       ClientWrite, GetCohortMap)
+from .partition import CohortMap, RangePartitioner
 
 __all__ = ["SpinnakerClient"]
 
@@ -48,9 +53,16 @@ class SpinnakerClient:
         self.config = config
         self.endpoint: Endpoint = network.endpoint(name)
         self._rng = rng.stream(f"client:{name}")
+        self._map: CohortMap = partitioner.snapshot()
         self._leader_cache: Dict[int, str] = {}
         self.ops_completed = 0
         self.retries = 0
+        self.map_refreshes = 0
+
+    @property
+    def map_version(self) -> int:
+        """Version of the routing snapshot this client operates on."""
+        return self._map.version
 
     # ------------------------------------------------------------------
     # Public API (§3)
@@ -114,11 +126,11 @@ class SpinnakerClient:
         :class:`DatastoreError` otherwise.  Strong scans read each
         cohort's leader; timeline scans read any replica.
         """
-        if not self.partitioner.order_preserving:
+        if not self._map.order_preserving:
             raise DatastoreError(
                 "range scans require order_preserving_keys=True")
         results = []
-        for cohort in self.partitioner.cohorts_for_range(
+        for cohort in self._map.cohorts_for_range(
                 start_key, end_key or b"\xff\xff\xff\xff\xff"):
             if len(results) >= limit:
                 break
@@ -128,8 +140,10 @@ class SpinnakerClient:
                              consistent=consistent)
             target = (self._strong_target(cohort) if consistent
                       else self._timeline_target(cohort))
-            rows = yield from self._call(cohort, msg, 128, target,
-                                         strong=consistent)
+            rows = yield from self._call(
+                cohort, msg, 128, target, strong=consistent,
+                relocate=lambda cid=cohort.cohort_id:
+                    self._map.cohort_or_none(cid))
             for key, columns in rows:
                 results.append((key, {
                     col: GetResult(value=value, version=version)
@@ -147,10 +161,20 @@ class SpinnakerClient:
     # Routing + retry
     # ------------------------------------------------------------------
     def _cohort(self, key: bytes):
-        return self.partitioner.locate(key)
+        return self._map.locate(key)
 
     def _strong_target(self, cohort) -> str:
-        return self._leader_cache.get(cohort.cohort_id, cohort.members[0])
+        """The cohort's best-known leader.  A cold cache falls back to
+        the map's recorded leader hint before the lowest-named member —
+        members[0] alone would bias every fresh client's first contact
+        onto the same node."""
+        cached = self._leader_cache.get(cohort.cohort_id)
+        if cached is not None:
+            return cached
+        hint = self._map.leader_hint(cohort.cohort_id)
+        if hint is not None and hint in cohort.members:
+            return hint
+        return cohort.members[0]
 
     def _next_target(self, cohort, current: str) -> str:
         members = list(cohort.members)
@@ -160,8 +184,42 @@ class SpinnakerClient:
             return members[0]
         return members[(idx + 1) % len(members)]
 
-    def _timeline_target(self, cohort) -> str:
-        return self._rng.choice(cohort.members)
+    def _timeline_target(self, cohort, exclude=None) -> str:
+        """A random replica; ``exclude`` (a member name or a collection
+        of them) drops replicas that just timed out so retries cannot
+        keep hammering crashed nodes.  Falls back to the full member
+        list if exclusion would leave nobody."""
+        members = cohort.members
+        if exclude:
+            if isinstance(exclude, str):
+                exclude = (exclude,)
+            alive = [m for m in members if m not in exclude]
+            if alive:
+                members = alive
+        return self._rng.choice(members)
+
+    def _refresh_map(self, source: str):
+        """Fetch a newer routing snapshot from ``source`` (which just
+        told us ours is stale).  ``yield from`` me; True on upgrade."""
+        try:
+            reply = yield self.endpoint.request(source, GetCohortMap(),
+                                                size=64, timeout=1.0)
+        except RpcTimeout:
+            return False
+        if not (isinstance(reply, dict) and reply.get("ok")):
+            return False
+        snapshot: CohortMap = reply["map"]
+        if snapshot.version <= self._map.version:
+            return False
+        self._map = snapshot
+        self.map_refreshes += 1
+        # Drop leader-cache entries invalidated by membership changes.
+        for cid in sorted(self._leader_cache):
+            cohort = snapshot.cohort_or_none(cid)
+            if (cohort is None
+                    or self._leader_cache[cid] not in cohort.members):
+                del self._leader_cache[cid]
+        return True
 
     def _get(self, key: bytes, colname: bytes, consistent: bool):
         cohort = self._cohort(key)
@@ -169,20 +227,29 @@ class SpinnakerClient:
         target = (self._strong_target(cohort) if consistent
                   else self._timeline_target(cohort))
         result = yield from self._call(cohort, msg, 96, target,
-                                       strong=consistent)
+                                       strong=consistent,
+                                       relocate=lambda:
+                                           self._map.locate(key))
         return result
 
     def _write(self, key: bytes, msg, size: int):
         cohort = self._cohort(key)
         target = self._strong_target(cohort)
         result = yield from self._call(cohort, msg, size, target,
-                                       strong=True)
+                                       strong=True,
+                                       relocate=lambda:
+                                           self._map.locate(key))
         return result
 
-    def _call(self, cohort, msg, size: int, target: str, strong: bool):
+    def _call(self, cohort, msg, size: int, target: str, strong: bool,
+              relocate=None):
+        """Send with retries.  ``relocate`` re-resolves the cohort from
+        the (possibly refreshed) map snapshot after a ``wrong-node``
+        reply; without it the client can only rotate members."""
         cfg = self.config
         deadline = self.sim.now + cfg.client_op_timeout
         attempt = 0
+        timed_out: set = set()
         while True:
             remaining = deadline - self.sim.now
             if remaining <= 0 or attempt > cfg.client_max_retries:
@@ -195,8 +262,10 @@ class SpinnakerClient:
             except RpcTimeout:
                 attempt += 1
                 self.retries += 1
+                timed_out.add(target)
                 target = (self._next_target(cohort, target) if strong
-                          else self._timeline_target(cohort))
+                          else self._timeline_target(cohort,
+                                                     exclude=timed_out))
                 continue
             if reply.get("ok"):
                 if strong:
@@ -206,7 +275,26 @@ class SpinnakerClient:
             code = reply.get("code")
             if code == "version-mismatch":
                 raise VersionMismatch(reply["expected"], reply["actual"])
-            if code in ("not-leader", "unavailable", "wrong-node"):
+            if code == "wrong-node":
+                attempt += 1
+                self.retries += 1
+                if self._leader_cache.get(cohort.cohort_id) == target:
+                    # The replier holds no replica here; a cache entry
+                    # pointing at it is poison, not a leader.
+                    del self._leader_cache[cohort.cohort_id]
+                stale = reply.get("map_version", 0) > self._map.version
+                if stale:
+                    yield from self._refresh_map(target)
+                moved = relocate() if relocate is not None else None
+                if moved is not None:
+                    cohort = moved
+                    target = (self._strong_target(cohort) if strong
+                              else self._timeline_target(cohort))
+                else:
+                    target = self._next_target(cohort, target)
+                yield timeout(self.sim, cfg.client_retry_backoff)
+                continue
+            if code in ("not-leader", "unavailable"):
                 attempt += 1
                 self.retries += 1
                 hint = reply.get("hint")
@@ -214,6 +302,8 @@ class SpinnakerClient:
                     target = hint
                     self._leader_cache[cohort.cohort_id] = hint
                 else:
+                    # No hint: rotate — re-asking the same non-leader
+                    # would just burn the op deadline.
                     target = self._next_target(cohort, target)
                 yield timeout(self.sim, cfg.client_retry_backoff)
                 continue

@@ -85,6 +85,26 @@ class SpinnakerCluster:
         self.sim.run(until=self.sim.now + duration)
 
     # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> SpinnakerNode:
+        """Register and boot a new, cohort-less node.
+
+        The node joins the coordination service's ``/nodes`` group and
+        idles; it gains replicas when a rebalancer-driven
+        :class:`~repro.core.partition.MembershipChange` naming it
+        commits (see :mod:`repro.core.rebalance`)."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        self.partitioner.add_node(name)
+        node = SpinnakerNode(self.sim, self.network, self.rng, name,
+                             self.partitioner, self.config,
+                             tracer=self.tracer)
+        self.nodes[name] = node
+        node.boot()
+        return node
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def leader_of(self, cohort_id: int) -> Optional[str]:

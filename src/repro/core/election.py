@@ -53,6 +53,14 @@ def run_election(replica):
     zk = node.zk
     sim = node.sim
     root = cohort_zk_path(replica.cohort_id)
+    if node.name not in replica.cohort.members:
+        # A prepared joiner (replace move, pre-switch) is a learner, not
+        # a voter: its near-empty log must never count toward the
+        # majority whose max-n.lst rule guarantees a committed-data
+        # holder wins (§7.2).  It follows whatever leader emerges.
+        return None
+    if node.replicas.get(replica.cohort_id) is not replica:
+        return None     # retired (or replaced) while the monitor slept
     if replica.electing:
         return None
     replica.electing = True
@@ -232,6 +240,8 @@ def leader_monitor(replica):
     root = cohort_zk_path(replica.cohort_id)
     zk = node.zk
     while node.alive and node.zk is zk:
+        if node.replicas.get(replica.cohort_id) is not replica:
+            return      # replica retired (or replaced) under us
         changed = Event(sim)
 
         def _on_change(_ev, target=changed):

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from ..storage.lsn import LSN
 from ..storage.records import WriteRecord
+from .partition import Cohort, MembershipChange
 
 __all__ = [
     "ClientGet", "ClientScan", "ClientWrite", "ClientMultiWrite",
@@ -21,7 +22,8 @@ __all__ = [
     "Propose", "Ack", "Commit",
     "CatchupRequest", "CatchupReply", "CatchupFinal", "TakeoverState",
     "SSTableShipment",
-    "WhoIsLeader",
+    "WhoIsLeader", "GetCohortMap",
+    "MigrationStart", "MigrationPrepare",
 ]
 
 
@@ -205,3 +207,39 @@ class SSTableShipment:  # lint: allow(dead-message) — reserved; shipped
     # tables currently ride inside CatchupReply.sstables (§6.1)
     cohort_id: int
     tables: Tuple
+
+
+# ---------------------------------------------------------------------------
+# Elastic membership (rebalance protocol)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GetCohortMap:
+    """Client → any node: send me your current routing snapshot.  Sent
+    after a ``wrong-node`` reply whose ``map_version`` outruns the
+    client's snapshot."""
+
+
+@dataclass(frozen=True)
+class MigrationStart:
+    """Rebalancer → source-cohort leader: execute one
+    :class:`~repro.core.partition.MembershipChange`.  Idempotent — the
+    leader skips the Paxos round when the change's version has already
+    been applied and only re-runs the side effects (prepare + publish)."""
+
+    cohort_id: int
+    change: MembershipChange
+
+
+@dataclass(frozen=True)
+class MigrationPrepare:
+    """Migration leader → joining node: instantiate a replica for
+    ``cohort`` ahead of the membership switch, so the joiner can follow
+    the cohort's elections and catch up through the ordinary §6
+    machinery.  ``base_epoch`` floors the new replica's epoch at the
+    source cohort's, keeping every post-switch LSN above the shipped
+    snapshot (Appendix B ordering)."""
+
+    cohort: Cohort
+    base_epoch: int
+    map_version: int

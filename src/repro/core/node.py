@@ -27,15 +27,18 @@ from ..sim.resources import Resource, serve
 from ..sim.rng import RngRegistry
 from ..storage.engine import StorageEngine
 from ..storage.lsn import LSN
-from ..storage.records import CheckpointRecord
+from ..storage.records import CheckpointRecord, CommitMarker
 from ..storage.wal import SharedLog
 from .config import SpinnakerConfig
-from .election import leader_monitor
+from .election import cohort_zk_path, leader_monitor
 from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
                        ClientGet, ClientMultiWrite, ClientScan,
-                       ClientTransaction, ClientWrite, Commit, Propose,
+                       ClientTransaction, ClientWrite, Commit, GetCohortMap,
+                       MigrationPrepare, MigrationStart, Propose,
                        TakeoverState, WhoIsLeader)
-from .partition import RangePartitioner
+from .partition import Cohort, RangePartitioner
+from .rebalance import (apply_membership_record, build_split_snapshot,
+                        handle_migration_start)
 from .recovery import build_catchup_reply, ingest_catchup, local_recovery
 from .replication import CohortReplica, Role
 
@@ -78,7 +81,7 @@ class SpinnakerNode:
         #: crash() must interrupt them deterministically, and set
         #: iteration order would vary run to run)
         self._procs: Dict[Process, None] = {}
-        self._monitors: List[Process] = []
+        self._monitors: Dict[int, Process] = {}
         #: failures of handler processes that were NOT deliberate kills —
         #: tests assert this stays empty (protocol bugs surface here)
         self.failures: List[BaseException] = []
@@ -166,6 +169,92 @@ class SpinnakerNode:
         self.spawn(_flush(), f"flush-{replica.cohort_id}")
 
     # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def on_membership_commit(self, record) -> None:
+        """A membership-change record committed at one of this node's
+        replicas (any observation path): switch the map, reconcile."""
+        apply_membership_record(self, record)
+
+    def create_replica(self, cohort: Cohort) -> CohortReplica:
+        """Instantiate an empty replica (a joiner; catch-up fills it)."""
+        replica = CohortReplica(self, cohort)
+        self.replicas[cohort.cohort_id] = replica
+        self._ensure_monitor(replica)
+        return replica
+
+    def create_split_replica(self, cohort: Cohort, source: CohortReplica,
+                             horizon: LSN) -> CohortReplica:
+        """Seed a child-cohort replica from the parent's local storage.
+
+        Every cell at or below ``horizon`` (the membership record's LSN)
+        moves over inside one filtered SSTable; the child's WAL view is
+        GC'd through the horizon so its log starts strictly above the
+        snapshot and catch-up for later joiners ships SSTables rather
+        than a log prefix it does not have.
+        """
+        replica = CohortReplica(self, cohort)
+        table = build_split_snapshot(source.engine, cohort,
+                                     self.partitioner.key_mapper)
+        if table is not None:
+            replica.engine.ingest_sstable(table)
+        self.wal.gc_through(cohort.cohort_id, horizon)
+        # Best-effort restart hint; if lost, catch-up re-ships the tables.
+        self.wal.append(CommitMarker(lsn=horizon,
+                                     cohort_id=cohort.cohort_id,
+                                     committed_lsn=horizon), force=False)
+        replica.committed_lsn = horizon
+        replica.epoch = horizon.epoch
+        replica.next_seq = horizon.seq + 1
+        replica.catchup_floor = horizon
+        self.replicas[cohort.cohort_id] = replica
+        self.trace("rebalance", "split replica seeded",
+                   cohort=cohort.cohort_id, horizon=str(horizon),
+                   rows=0 if table is None else len(table.keys()))
+        self._ensure_monitor(replica)
+        return replica
+
+    def retire_replica(self, replica: CohortReplica) -> None:
+        """This node lost its seat in the cohort: drop the replica and
+        release any election znodes our live session still owns (they
+        are ephemeral, but our session is healthy — nobody would expire
+        them for us)."""
+        cid = replica.cohort_id
+        self.trace("rebalance", "retiring replica", cohort=cid,
+                   role=replica.role)
+        self.replicas.pop(cid, None)
+        monitor = self._monitors.pop(cid, None)
+        if monitor is not None and monitor.is_alive:
+            monitor.interrupt("retired")
+        candidate_path = replica.candidate_path
+        replica.step_down()
+        replica.role = Role.OFFLINE
+        if self.alive and self.zk is not None:
+            self.spawn(self._release_cohort_znodes(self.zk, cid,
+                                                   candidate_path),
+                       f"retire-{cid}")
+
+    def _release_cohort_znodes(self, zk: CoordClient, cohort_id: int,
+                               candidate_path: Optional[str]):
+        from ..coord.znode import CoordError, NoNodeError
+        from ..sim.network import RpcTimeout
+        root = cohort_zk_path(cohort_id)
+        if candidate_path is not None:
+            try:
+                yield from zk.delete(candidate_path)
+            except (NoNodeError, CoordError, RpcTimeout):
+                pass
+        try:
+            data, _ = yield from zk.get(f"{root}/leader")
+        except (NoNodeError, CoordError, RpcTimeout):
+            return
+        if data == self.name.encode():
+            try:
+                yield from zk.delete(f"{root}/leader")
+            except (NoNodeError, CoordError, RpcTimeout):
+                pass
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def boot(self) -> None:
@@ -186,21 +275,55 @@ class SpinnakerNode:
 
     def _startup(self):
         yield from self.zk.start()
+        # The shared map may have moved while we were down: shed cohorts
+        # we no longer belong to, refresh the rest, instantiate empty
+        # replicas for new seats (catch-up fills them in).
+        self._reconcile_replicas()
         # Local recovery (§6.1 phase 1): all cohorts share one log scan in
         # the real system; we recover them in turn, charging the same CPU.
-        # lint: allow(dict-order) — replicas inserted in partitioner order
-        for replica in self.replicas.values():
+        for cid in sorted(self.replicas):
+            replica = self.replicas.get(cid)
+            if replica is None:      # retired by a replayed map change
+                continue
             replica.prepare_restart()
             yield from local_recovery(replica)
         self.membership = GroupMembership(self.zk, "/nodes", self.name)
         yield from self.membership.join()
         self._spawn_monitors()
 
+    def _reconcile_replicas(self) -> None:
+        for cid in sorted(self.replicas):
+            cohort = self.partitioner.cohort_or_none(cid)
+            if cohort is None or self.name not in cohort.members:
+                self.trace("rebalance", "dropping retired replica",
+                           cohort=cid)
+                del self.replicas[cid]
+                monitor = self._monitors.pop(cid, None)
+                if monitor is not None and monitor.is_alive:
+                    monitor.interrupt("retired")
+            else:
+                self.replicas[cid].cohort = cohort
+        for cohort in self.partitioner.cohorts_of_node(self.name):
+            if cohort.cohort_id not in self.replicas:
+                self.trace("rebalance", "adopting cohort from map",
+                           cohort=cohort.cohort_id)
+                self.replicas[cohort.cohort_id] = CohortReplica(self,
+                                                                cohort)
+
     def _spawn_monitors(self) -> None:
-        self._monitors = [
-            self.spawn(leader_monitor(replica),
-                       f"monitor-{replica.cohort_id}")
-            for replica in self.replicas.values()]
+        for cid in sorted(self.replicas):
+            self._ensure_monitor(self.replicas[cid])
+
+    def _ensure_monitor(self, replica: CohortReplica) -> None:
+        """Spawn the replica's leader monitor unless one is running."""
+        if not self.alive or self.zk is None:
+            return
+        cid = replica.cohort_id
+        existing = self._monitors.get(cid)
+        if existing is not None and existing.is_alive:
+            return
+        self._monitors[cid] = self.spawn(leader_monitor(replica),
+                                         f"monitor-{cid}")
 
     def _on_session_loss(self, zk: CoordClient) -> None:
         """Our coordination session expired (or its lease ran out) while
@@ -212,10 +335,11 @@ class SpinnakerNode:
             return
         self.session_losses += 1
         self.trace("node", "session lost; stepping down")
-        for proc in self._monitors:
+        for cid in sorted(self._monitors):
+            proc = self._monitors[cid]
             if proc.is_alive:
                 proc.interrupt("session-loss")
-        self._monitors = []
+        self._monitors = {}
         # lint: allow(dict-order) — replicas inserted in partitioner order
         for replica in self.replicas.values():
             replica.step_down()
@@ -254,6 +378,7 @@ class SpinnakerNode:
         for proc in list(self._procs):
             proc.interrupt("crash")
         self._procs.clear()
+        self._monitors = {}
         if self.zk is not None:
             self.zk.stop()
             self.zk = None
@@ -292,7 +417,9 @@ class SpinnakerNode:
                                 ClientTransaction)):
             replica = self.replica_for_key(payload.key)
             if replica is None:
-                req.respond({"ok": False, "code": "wrong-node"}, size=64)
+                req.respond({"ok": False, "code": "wrong-node",
+                             "map_version": self.partitioner.version},
+                            size=64)
                 return
             if isinstance(payload, ClientGet):
                 self.spawn(replica.handle_get(req), "get")
@@ -301,12 +428,24 @@ class SpinnakerNode:
             else:
                 self.spawn(replica.handle_client_write(req), "write")
             return
+        if isinstance(payload, GetCohortMap):
+            snapshot = self.partitioner.snapshot()
+            req.respond({"ok": True, "map": snapshot},
+                        size=64 + 48 * len(snapshot))
+            return
+        if isinstance(payload, MigrationPrepare):
+            self._handle_migration_prepare(req)
+            return
         replica = self.replicas.get(getattr(payload, "cohort_id", -1))
         if replica is None:
-            if isinstance(payload, ClientScan):
-                req.respond({"ok": False, "code": "wrong-node"}, size=64)
+            if isinstance(payload, (ClientScan, MigrationStart)):
+                req.respond({"ok": False, "code": "wrong-node",
+                             "map_version": self.partitioner.version},
+                            size=64)
             return
-        if isinstance(payload, ClientScan):
+        if isinstance(payload, MigrationStart):
+            self.spawn(handle_migration_start(replica, req), "migration")
+        elif isinstance(payload, ClientScan):
             self.spawn(replica.handle_scan(req), "scan")
         elif isinstance(payload, Propose):
             self.spawn(replica.handle_propose(req), "propose")
@@ -335,6 +474,28 @@ class SpinnakerNode:
             req.respond({"cmt": replica.committed_lsn}, size=64)
         elif isinstance(payload, WhoIsLeader):
             req.respond({"leader": replica.leader}, size=64)
+
+    def _handle_migration_prepare(self, req: Request) -> None:
+        """Instantiate (or refresh) a replica ahead of a membership
+        switch.  Idempotent: an existing replica only has its cohort
+        definition refreshed.  When the shared map already includes this
+        node for the cohort we trust the map over the (possibly older)
+        message payload."""
+        payload: MigrationPrepare = req.payload
+        cid = payload.cohort.cohort_id
+        current = self.partitioner.cohort_or_none(cid)
+        definition = (current if current is not None
+                      and self.name in current.members else payload.cohort)
+        replica = self.replicas.get(cid)
+        if replica is None:
+            replica = self.create_replica(definition)
+            if payload.base_epoch > replica.epoch:
+                replica.epoch = payload.base_epoch
+            self.trace("rebalance", "prepared joining replica",
+                       cohort=cid, base_epoch=payload.base_epoch)
+        else:
+            replica.cohort = definition
+        req.respond({"ok": True, "cmt": replica.committed_lsn}, size=64)
 
     # ------------------------------------------------------------------
     # Leader-side catch-up handlers (§6.1)

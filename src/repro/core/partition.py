@@ -9,17 +9,34 @@ range, B-C-D serve B's, and so on.
 
 Keys here are unsigned integers hashed/encoded by the client API layer
 from row keys; the keyspace defaults to ``[0, 2**32)``.
+
+Elastic membership: the layout is *versioned* and mutable.  The paper
+defers "adding nodes" to future work (§10); here a
+:class:`MembershipChange` — committed by the affected cohort as an
+ordinary log record (see :mod:`repro.core.rebalance`) — splits a cohort
+or replaces its member set, bumping :attr:`RangePartitioner.version`.
+Clients route off an immutable :class:`CohortMap` snapshot and refresh
+it when a node answers ``wrong-node`` with a newer ``map_version``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["KeyRange", "Cohort", "RangePartitioner", "key_of"]
+__all__ = ["KeyRange", "Cohort", "CohortMap", "MembershipChange",
+           "RangePartitioner", "key_of", "MEMBERSHIP_KEY",
+           "INTERNAL_KEY_PREFIX"]
 
 KEYSPACE = 1 << 32
+
+#: Keys under this prefix are internal bookkeeping rows: scans skip
+#: them and split snapshots do not carry them.
+INTERNAL_KEY_PREFIX = b"\x00spinnaker/"
+#: Row key of membership-change log records.
+MEMBERSHIP_KEY = INTERNAL_KEY_PREFIX + b"membership"
 
 
 def key_of(row_key: bytes) -> int:
@@ -71,12 +88,141 @@ class Cohort:
     members: Tuple[str, ...]
 
 
+@dataclass(frozen=True)
+class MembershipChange:
+    """One elastic-membership step, committed as a cohort log record.
+
+    ``version`` is the cohort-map version this change produces; a change
+    applies only against version - 1, which makes replay and duplicate
+    commits idempotent.  Two kinds:
+
+    * ``split`` — cohort ``cohort_id`` keeps ``[lo, split_key)``; a new
+      cohort ``new_cohort_id`` takes ``[split_key, hi)`` with members
+      ``new_members`` (two of which must be members of the source cohort,
+      so they can seed the new replica from local data).
+    * ``replace`` — cohort ``cohort_id``'s member set becomes
+      ``new_members`` (same key range).
+    """
+
+    version: int
+    kind: str                       # "split" | "replace"
+    cohort_id: int
+    new_members: Tuple[str, ...]
+    split_key: Optional[int] = None
+    new_cohort_id: Optional[int] = None
+    #: pre-change member set (replace only): lets retries re-notify the
+    #: retired member, which the post-switch commit broadcast skips
+    old_members: Tuple[str, ...] = ()
+
+    def encode(self) -> bytes:
+        return json.dumps({
+            "version": self.version, "kind": self.kind,
+            "cohort_id": self.cohort_id,
+            "new_members": list(self.new_members),
+            "split_key": self.split_key,
+            "new_cohort_id": self.new_cohort_id,
+            "old_members": list(self.old_members),
+        }, sort_keys=True).encode()
+
+    @staticmethod
+    def decode(data: bytes) -> "MembershipChange":
+        obj = json.loads(data.decode())
+        return MembershipChange(
+            version=obj["version"], kind=obj["kind"],
+            cohort_id=obj["cohort_id"],
+            new_members=tuple(obj["new_members"]),
+            split_key=obj.get("split_key"),
+            new_cohort_id=obj.get("new_cohort_id"),
+            old_members=tuple(obj.get("old_members", ())))
+
+
+def _index_for_key(cohorts: Sequence[Cohort], keyspace: int,
+                   key: int) -> int:
+    """Index (position, not id) of the cohort containing ``key``.
+
+    Ranges are near-uniform at bootstrap; locate by division then walk.
+    Splits only make the walk a little longer.
+    """
+    if not 0 <= key < keyspace:
+        raise ValueError(f"key {key} outside keyspace")
+    idx = min(int(key * len(cohorts) / keyspace), len(cohorts) - 1)
+    while not cohorts[idx].key_range.contains(key):
+        idx += 1 if key >= cohorts[idx].key_range.hi else -1
+    return idx
+
+
+class CohortMap:
+    """An immutable, versioned snapshot of the cohort layout.
+
+    This is what clients route off: cheap to hand out, safe to keep
+    using after the live layout moves on (stale routing is corrected by
+    ``wrong-node`` replies carrying the server's ``map_version``).
+    ``leader_hints`` seeds cold leader caches with the last leader the
+    layout layer heard about per cohort — a hint, never a guarantee.
+    """
+
+    def __init__(self, version: int, cohorts: Sequence[Cohort],
+                 keyspace: int, key_mapper,
+                 leader_hints: Optional[Dict[int, str]] = None):
+        self.version = version
+        self.cohorts: List[Cohort] = list(cohorts)   # sorted by range.lo
+        self.keyspace = keyspace
+        self.key_mapper = key_mapper
+        self.order_preserving = key_mapper is ordered_key_of
+        self.leader_hints: Dict[int, str] = dict(leader_hints or {})
+        self._by_id: Dict[int, Cohort] = {
+            c.cohort_id: c for c in self.cohorts}
+
+    # -- lookups -------------------------------------------------------
+    def locate(self, row_key: bytes) -> Cohort:
+        """The cohort responsible for a row key (via the key mapper)."""
+        return self.cohort_for_key(self.key_mapper(row_key))
+
+    def cohort_for_key(self, key: int) -> Cohort:
+        return self.cohorts[_index_for_key(self.cohorts, self.keyspace,
+                                           key)]
+
+    def cohorts_for_range(self, start_key: bytes,
+                          end_key: Optional[bytes]) -> List[Cohort]:
+        """Cohorts intersecting [start_key, end_key), in key order.
+
+        Requires an order-preserving key mapper.
+        """
+        if not self.order_preserving:
+            raise ValueError("range queries need ordered_key_of; "
+                             "construct the partitioner (or cluster) "
+                             "with order-preserving keys")
+        lo = self.key_mapper(start_key)
+        hi = self.key_mapper(end_key) if end_key else self.keyspace - 1
+        first = _index_for_key(self.cohorts, self.keyspace, lo)
+        last = _index_for_key(self.cohorts, self.keyspace,
+                              min(hi, self.keyspace - 1))
+        return self.cohorts[first:last + 1]
+
+    def cohort(self, cohort_id: int) -> Cohort:
+        return self._by_id[cohort_id]
+
+    def cohort_or_none(self, cohort_id: int) -> Optional[Cohort]:
+        return self._by_id.get(cohort_id)
+
+    def leader_hint(self, cohort_id: int) -> Optional[str]:
+        return self.leader_hints.get(cohort_id)
+
+    def __len__(self) -> int:
+        return len(self.cohorts)
+
+
 class RangePartitioner:
     """Builds and answers questions about the cluster's cohort layout.
 
     ``key_mapper`` converts row keys (bytes) to keyspace integers:
     :func:`key_of` (hashing; default) spreads any workload uniformly,
     :func:`ordered_key_of` preserves key order and enables range scans.
+
+    The layout starts at ``version`` 1 and mutates only through
+    :meth:`apply_change` — the apply side of a committed
+    :class:`MembershipChange` log record.  All lookups answer from the
+    current version.
     """
 
     def __init__(self, nodes: Sequence[str], replication_factor: int = 3,
@@ -92,6 +238,10 @@ class RangePartitioner:
         self.keyspace = keyspace
         self.key_mapper = key_mapper
         self.order_preserving = key_mapper is ordered_key_of
+        self.version = 1
+        #: last leader the layout layer heard about, per cohort — seeds
+        #: client leader caches (a hint only; elections move leadership)
+        self.leader_hints: Dict[int, str] = {}
         self.cohorts: List[Cohort] = []
         n = len(self.nodes)
         step, remainder = divmod(keyspace, n)
@@ -102,10 +252,72 @@ class RangePartitioner:
                             for j in range(replication_factor))
             self.cohorts.append(Cohort(i, KeyRange(lo, hi), members))
             lo = hi
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._by_id: Dict[int, Cohort] = {
+            c.cohort_id: c for c in self.cohorts}
         self._by_node: Dict[str, List[Cohort]] = {}
         for cohort in self.cohorts:
             for member in cohort.members:
                 self._by_node.setdefault(member, []).append(cohort)
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> None:
+        """Register a node that owns no cohorts yet (it gains some when a
+        :class:`MembershipChange` naming it commits)."""
+        if name not in self.nodes:
+            self.nodes.append(name)
+
+    def next_cohort_id(self) -> int:
+        return max(c.cohort_id for c in self.cohorts) + 1
+
+    def apply_change(self, change: MembershipChange) -> bool:
+        """Mutate the layout to ``change.version``; returns True if this
+        call applied it, False if it was already applied (or is from the
+        future — the caller sequences changes, so that cannot happen in
+        a correct run; we refuse rather than corrupt the map)."""
+        if change.version != self.version + 1:
+            return False
+        cohort = self._by_id.get(change.cohort_id)
+        if cohort is None:
+            raise ValueError(f"no cohort {change.cohort_id}")
+        idx = self.cohorts.index(cohort)
+        if change.kind == "split":
+            if not cohort.key_range.contains(change.split_key):
+                raise ValueError(
+                    f"split key {change.split_key} outside {cohort}")
+            if change.new_cohort_id in self._by_id:
+                raise ValueError(
+                    f"cohort id {change.new_cohort_id} already in use")
+            left = Cohort(cohort.cohort_id,
+                          KeyRange(cohort.key_range.lo, change.split_key),
+                          cohort.members)
+            right = Cohort(change.new_cohort_id,
+                           KeyRange(change.split_key, cohort.key_range.hi),
+                           change.new_members)
+            self.cohorts[idx:idx + 1] = [left, right]
+        elif change.kind == "replace":
+            self.cohorts[idx] = Cohort(cohort.cohort_id, cohort.key_range,
+                                       change.new_members)
+        else:
+            raise ValueError(f"unknown change kind {change.kind!r}")
+        for member in change.new_members:
+            self.add_node(member)
+        self.version = change.version
+        self._reindex()
+        return True
+
+    def record_leader(self, cohort_id: int, name: str) -> None:
+        """Remember the cohort's latest known leader (routing hint)."""
+        self.leader_hints[cohort_id] = name
+
+    def snapshot(self) -> CohortMap:
+        """An immutable routing snapshot of the current layout."""
+        return CohortMap(self.version, list(self.cohorts), self.keyspace,
+                         self.key_mapper, self.leader_hints)
 
     # ------------------------------------------------------------------
     def locate(self, row_key: bytes) -> Cohort:
@@ -124,29 +336,27 @@ class RangePartitioner:
                              "with order-preserving keys")
         lo = self.key_mapper(start_key)
         hi = self.key_mapper(end_key) if end_key else self.keyspace - 1
-        first = self.cohort_for_key(lo).cohort_id
-        last = self.cohort_for_key(min(hi, self.keyspace - 1)).cohort_id
-        return [self.cohorts[i] for i in range(first, last + 1)]
+        first = _index_for_key(self.cohorts, self.keyspace, lo)
+        last = _index_for_key(self.cohorts, self.keyspace,
+                              min(hi, self.keyspace - 1))
+        return self.cohorts[first:last + 1]
 
     def cohort_for_key(self, key: int) -> Cohort:
-        if not 0 <= key < self.keyspace:
-            raise ValueError(f"key {key} outside keyspace")
-        # Ranges are near-uniform; locate by division then adjust.
-        idx = min(int(key * len(self.cohorts) / self.keyspace),
-                  len(self.cohorts) - 1)
-        while not self.cohorts[idx].key_range.contains(key):
-            idx += 1 if key >= self.cohorts[idx].key_range.hi else -1
-        return self.cohorts[idx]
+        return self.cohorts[_index_for_key(self.cohorts, self.keyspace,
+                                           key)]
 
     def cohort(self, cohort_id: int) -> Cohort:
-        return self.cohorts[cohort_id]
+        return self._by_id[cohort_id]
+
+    def cohort_or_none(self, cohort_id: int) -> Optional[Cohort]:
+        return self._by_id.get(cohort_id)
 
     def cohorts_of_node(self, node: str) -> List[Cohort]:
         """The cohorts this node participates in (3 with N=3)."""
         return list(self._by_node.get(node, []))
 
     def peers_of(self, node: str, cohort_id: int) -> List[str]:
-        return [m for m in self.cohorts[cohort_id].members if m != node]
+        return [m for m in self._by_id[cohort_id].members if m != node]
 
     def __len__(self) -> int:
         return len(self.cohorts)

@@ -28,6 +28,7 @@ from ..storage.records import CommitMarker
 from .batching import chunk_groups
 from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
                        Propose, TakeoverState)
+from .partition import MEMBERSHIP_KEY
 from .replication import Role
 
 __all__ = ["local_recovery", "follower_catchup", "leader_takeover",
@@ -55,6 +56,11 @@ def local_recovery(replica):
                cohort=cohort_id, replayed=len(records),
                f_cmt=str(f_cmt))
     replica.committed_lsn = f_cmt
+    # Replayed membership changes re-run the map switch + reconciliation
+    # (both idempotent: the shared map refuses non-successor versions).
+    for record in records:
+        if record.key == MEMBERSHIP_KEY:
+            node.on_membership_commit(record)
     last = wal.last_lsn(cohort_id)
     replica.next_seq = max(replica.next_seq, last.seq + 1)
     # The log tells us which epochs this cohort has seen; elections use
@@ -147,6 +153,11 @@ def ingest_catchup(replica, reply: CatchupReply):
                                 committed_lsn=new_cmt), force=False)
     replica.next_seq = max(replica.next_seq,
                            wal.last_lsn(cohort_id).seq + 1)
+    # Membership changes that arrived via catch-up (e.g. a retired member
+    # that missed the commit broadcast) take effect now.
+    for record in reply.records:
+        if record.key == MEMBERSHIP_KEY:
+            node.on_membership_commit(record)
     node.trace("catchup", "ingested",
                cohort=cohort_id, records=len(reply.records),
                sstables=len(reply.sstables), truncated=len(to_skip),
@@ -296,6 +307,9 @@ def leader_takeover(replica):
     # Line 10: open the cohort for writes, with fresh LSNs.
     replica.next_seq = max(replica.next_seq, l_lst.seq + 1)
     replica.open_for_writes = True
+    # Routing hint for clients whose leader cache is cold (the map layer
+    # snapshots it; elections and handoffs keep it current).
+    node.partitioner.record_leader(cohort_id, node.name)
     node.trace("takeover", "cohort open for writes",
                cohort=cohort_id, epoch=replica.epoch,
                reproposed=len(unresolved))

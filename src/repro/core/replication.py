@@ -36,7 +36,7 @@ from .commitqueue import CommitQueue
 from .datamodel import GetResult, PutResult
 from .messages import (Ack, ClientGet, ClientMultiWrite, ClientWrite, Commit,
                        Propose)
-from .partition import Cohort
+from .partition import INTERNAL_KEY_PREFIX, MEMBERSHIP_KEY, Cohort
 
 __all__ = ["CohortReplica", "Role"]
 
@@ -85,6 +85,8 @@ class CohortReplica:
         # log records.  The log-prefix auditors respect this floor.
         self.catchup_floor = LSN.zero()
         self._resyncing = False
+        #: set while this leader is executing a membership change
+        self.migrating = False
         # counters
         self.writes_served = 0
         self.reads_served = 0
@@ -154,6 +156,12 @@ class CohortReplica:
         yield from serve(node.cpu, cfg.write_leader_service)
         if not self.is_leader or not self.open_for_writes:
             req.respond(_err("not-leader", self.leader), size=64)
+            return
+        # A membership change may have moved the key while we waited
+        # (the migration drain ends exactly here): re-route the client.
+        if node.replica_for_key(msg.key) is not self:
+            req.respond({"ok": False, "code": "wrong-node",
+                         "map_version": node.partitioner.version}, size=64)
             return
         # Conditional writes pay a read + version compare first (§5.1).
         column_ops = self._column_ops(msg)
@@ -354,6 +362,9 @@ class CohortReplica:
             self.engine.apply(record)
         if committed:
             self.committed_lsn = self.queue.committed_lsn
+            for record in committed:
+                if record.key == MEMBERSHIP_KEY:
+                    self.node.on_membership_commit(record)
             self.node.maybe_flush(self)
             self.batcher.on_progress()
 
@@ -482,6 +493,9 @@ class CohortReplica:
                 CommitMarker(lsn=verified, cohort_id=self.cohort_id,
                              committed_lsn=verified), force=False)
             if committed:
+                for record in committed:
+                    if record.key == MEMBERSHIP_KEY:
+                        self.node.on_membership_commit(record)
                 self.node.charge_background(
                     len(committed) * self.node.config.commit_apply_service)
                 self.node.maybe_flush(self)
@@ -547,6 +561,12 @@ class CohortReplica:
         if msg.consistent and not self.is_leader:
             req.respond(_err("not-leader", self.leader), size=64)
             return
+        if msg.consistent and node.replica_for_key(msg.key) is not self:
+            # The key's range migrated away mid-request; our copy is no
+            # longer authoritative for strong reads.
+            req.respond({"ok": False, "code": "wrong-node",
+                         "map_version": node.partitioner.version}, size=64)
+            return
         cell = self.engine.get(msg.key, msg.colname)
         if cell is None or cell.tombstone:
             result = GetResult.not_found()
@@ -568,8 +588,18 @@ class CohortReplica:
         elif self.role == Role.OFFLINE:
             req.respond(_err("unavailable"), size=64)
             return
+        # Scan unbounded, then filter: after a range split the engine
+        # still holds rows that migrated away (plus internal-namespace
+        # cells), and a pre-filter limit would let them shadow live rows.
         rows = self.engine.scan(msg.start_key, msg.end_key,
-                                limit=msg.limit)
+                                limit=len(self.engine.memtable.keys())
+                                + sum(len(t.keys())
+                                      for t in self.engine.sstables) + 1)
+        rng = self.cohort.key_range
+        mapper = node.partitioner.key_mapper
+        rows = [(key, row) for key, row in rows
+                if not key.startswith(INTERNAL_KEY_PREFIX)
+                and rng.contains(mapper(key))][:msg.limit]
         service = (cfg.read_service
                    + (cfg.strong_read_overhead if msg.consistent else 0)
                    + cfg.scan_row_service * len(rows))
@@ -596,6 +626,7 @@ class CohortReplica:
         self.role = Role.OFFLINE
         self.open_for_writes = False
         self.leader = None
+        self.migrating = False
         self.batcher.clear()
         self.queue.clear()
         self.engine.crash()
@@ -614,6 +645,7 @@ class CohortReplica:
         self.role = Role.RECOVERING
         self.leader = None
         self.open_for_writes = False
+        self.migrating = False
         self.batcher.clear()
         self.electing = False
         self.candidate_path = None

@@ -2,7 +2,8 @@
 renderer (the benchmark suite runs them at full size)."""
 
 from repro.bench.experiments import (ExperimentResult, fig9_write_latency,
-                                     fig16_memory_log, table1_recovery)
+                                     fig11_elastic, fig16_memory_log,
+                                     table1_recovery)
 from repro.bench.harness import LoadPoint
 from repro.bench.report import render
 
@@ -31,6 +32,23 @@ def test_table1_tiny_scale_is_linear_enough():
     assert len(rows) >= 2
     assert rows[0]["recovery_time_s"] < rows[-1]["recovery_time_s"]
     assert result.checks["subsecond_at_1s_period"]
+
+
+def test_fig11_elastic_tiny_scale():
+    result = fig11_elastic(scale=0.05, seed=5)
+    rows = result.series["elastic"]
+    assert [r["phase"] for r in rows] == ["before", "during-move",
+                                          "after"]
+    assert rows[0]["throughput"] > 0 and rows[-1]["throughput"] > 0
+    # The throughput-ratio check is gated on full scale; everything
+    # else (convergence, routing, strong reads, chaos audit) must hold
+    # even at smoke scale.
+    assert "peak_ratio_geq_1_4" not in result.checks
+    assert result.checks["converged"]
+    assert result.checks["zero_failed_strong_reads"]
+    assert result.checks["chaos_joiner_crash_clean"]
+    assert result.checks["chaos_leader_crash_clean"]
+    assert result.passed
 
 
 def test_render_formats_points_and_rows():

@@ -141,6 +141,95 @@ def test_multi_column_conditional_put_all_or_nothing():
     assert row[b"a"].value == b"1" and row[b"b"].value == b"2"
 
 
+def test_not_leader_without_hint_rotates_members():
+    """A not-leader reply with no hint (the follower itself does not know
+    the leader yet) must rotate to the next member instead of re-asking
+    the same node until the deadline burns out."""
+    cluster = make_cluster()
+    client = cluster.client()
+    key = b"hintless"
+    cohort = cluster.partitioner.cohort_for_key(key_of(key))
+    leader = cluster.leader_of(cohort.cohort_id)
+    follower = next(m for m in cohort.members if m != leader)
+    # The follower forgets who leads: its redirects carry hint=None.
+    cluster.nodes[follower].replicas[cohort.cohort_id].leader = None
+    client._leader_cache[cohort.cohort_id] = follower
+
+    def scenario():
+        yield from client.put(key, b"c", b"v")
+        return (yield from client.get(key, b"c", consistent=True))
+
+    got = run(cluster, scenario())
+    assert got.value == b"v"
+    assert client.retries >= 1
+    assert client._leader_cache[cohort.cohort_id] == leader
+
+
+def test_timeline_target_excludes_timed_out_replicas():
+    """Satellite fix: retry target selection must not re-pick members
+    that just timed out (while still falling back to the full list if
+    everything is excluded)."""
+    cluster = make_cluster()
+    client = cluster.client()
+    cohort = cluster.partitioner.cohort(0)
+    dead = set(cohort.members[:2])
+    for _ in range(50):
+        assert client._timeline_target(cohort, exclude=dead) \
+            == cohort.members[2]
+    # A single name (the just-timed-out target) works too.
+    for _ in range(50):
+        assert client._timeline_target(
+            cohort, exclude=cohort.members[0]) != cohort.members[0]
+    # Excluding everybody falls back to the full member list.
+    assert client._timeline_target(
+        cohort, exclude=set(cohort.members)) in cohort.members
+
+
+def test_timeline_read_avoids_crashed_replica_on_retry():
+    """Integration: with one member down, a timeline read that first
+    times out on the corpse must finish well inside the op deadline."""
+    cluster = make_cluster(client_op_timeout=6.0)
+    client = cluster.client()
+    key = b"corpse-dodge"
+    cohort = cluster.partitioner.cohort_for_key(key_of(key))
+
+    run(cluster, client.put(key, b"c", b"v"))
+    cluster.run(1.0)    # let commit info reach followers
+    cluster.crash_node(cohort.members[0])
+
+    def read_many():
+        out = []
+        for _ in range(20):
+            got = yield from client.get(key, b"c", consistent=False)
+            out.append(got.value)
+        return out
+
+    values = run(cluster, read_many(), limit=120.0)
+    assert values == [b"v"] * 20
+
+
+def test_cold_cache_strong_read_seeds_from_map_leader_hint():
+    """Satellite fix: a fresh client's first strong request goes to the
+    cohort map's recorded leader, not blindly to members[0]."""
+    cluster = make_cluster()
+    cluster.run(1.0)
+    client = cluster.client("fresh-client")
+    for cohort in cluster.partitioner.cohorts:
+        leader = cluster.leader_of(cohort.cohort_id)
+        assert client._strong_target(cohort) == leader
+
+    key = b"cold-start"
+    retries_before = client.retries
+
+    def scenario():
+        yield from client.put(key, b"c", b"v")
+        return (yield from client.get(key, b"c", consistent=True))
+
+    got = run(cluster, scenario())
+    assert got.value == b"v"
+    assert client.retries == retries_before   # straight to the leader
+
+
 def test_ops_counted():
     cluster = make_cluster()
     client = cluster.client()

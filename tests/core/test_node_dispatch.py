@@ -39,7 +39,8 @@ def test_write_to_non_replica_gets_wrong_node(cluster):
         return reply
 
     reply = run(cluster, scenario())
-    assert reply == {"ok": False, "code": "wrong-node"}
+    assert reply == {"ok": False, "code": "wrong-node",
+                     "map_version": cluster.partitioner.version}
 
 
 def test_client_recovers_from_misrouted_cache(cluster):

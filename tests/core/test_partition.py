@@ -83,3 +83,54 @@ def test_key_range_str_and_contains():
     assert kr.contains(10) and kr.contains(19)
     assert not kr.contains(20) and not kr.contains(9)
     assert str(kr) == "[10,20)"
+
+
+def test_key_range_boundaries_between_cohorts():
+    """Boundary keys: each cohort's hi is exclusive and is exactly the
+    next cohort's inclusive lo — no key owned twice, no key orphaned."""
+    part = RangePartitioner(["A", "B", "C", "D", "E"], keyspace=1000)
+    for left, right in zip(part.cohorts, part.cohorts[1:]):
+        edge = left.key_range.hi
+        assert edge == right.key_range.lo
+        assert not left.key_range.contains(edge)
+        assert right.key_range.contains(edge)
+        assert left.key_range.contains(edge - 1)
+        assert part.cohort_for_key(edge) is right
+        assert part.cohort_for_key(edge - 1) is left
+
+
+def test_key_range_last_cohort_owns_keyspace_end():
+    """The last cohort runs up to the keyspace limit: the maximal key
+    lands there, and the wrapped key (== keyspace, i.e. key 0 again)
+    belongs to the first cohort, never the last."""
+    part = RangePartitioner(["A", "B", "C"], keyspace=300)
+    last = part.cohorts[-1]
+    assert last.key_range.hi == 300
+    assert last.key_range.contains(299)
+    assert not last.key_range.contains(300)
+    assert part.cohort_for_key(299) is last
+    assert part.cohort_for_key(0) is part.cohorts[0]
+    with pytest.raises(ValueError):
+        part.cohort_for_key(300)     # wraps past the end: not a key
+
+
+def test_split_boundaries_route_correctly():
+    """After a split, the split key itself belongs to the new (right)
+    cohort; split_key - 1 stays with the source."""
+    from repro.core.partition import MembershipChange
+    part = RangePartitioner(["A", "B", "C", "D", "E"], keyspace=1000)
+    src = part.cohort(1)
+    mid = src.key_range.lo + (src.key_range.hi - src.key_range.lo) // 2
+    applied = part.apply_change(MembershipChange(
+        version=2, kind="split", cohort_id=1,
+        new_members=("F", "B", "C"), split_key=mid, new_cohort_id=5))
+    assert applied
+    assert part.cohort_for_key(mid).cohort_id == 5
+    assert part.cohort_for_key(mid - 1).cohort_id == 1
+    assert part.cohort(1).key_range.hi == mid
+    assert part.cohort(5).key_range == KeyRange(mid, src.key_range.hi)
+    # Duplicate application (replayed log record) is a no-op.
+    assert not part.apply_change(MembershipChange(
+        version=2, kind="split", cohort_id=1,
+        new_members=("F", "B", "C"), split_key=mid, new_cohort_id=5))
+    assert part.version == 2
