@@ -15,18 +15,21 @@ slow kernel silently inflates every benchmark's wall time.  Two guards:
 import time
 
 from repro.core.commitqueue import PendingWrite
+from repro.obs.trace import Span, TraceContext
 from repro.sim.events import Event, Simulator, _Entry
+from repro.sim.metrics import Histogram
 from repro.sim.network import Request, _Envelope
 from repro.sim.process import Process, Timeout, spawn, timeout
 
 #: classes instantiated once (or more) per simulated event/message/write
 HOT_CLASSES = [Event, _Entry, Process, Timeout, Request, _Envelope,
-               PendingWrite]
+               PendingWrite, Span, TraceContext]
 
 # Floors in events per wall-clock second.  Healthy numbers are an order
 # of magnitude higher; these only catch catastrophic regressions.
 RAW_FLOOR = 50_000
 PROCESS_FLOOR = 20_000
+PERCENTILE_FLOOR = 20_000
 
 
 def test_hot_classes_have_no_dict():
@@ -86,3 +89,28 @@ def test_process_machinery_throughput(benchmark):
     assert rate >= PROCESS_FLOOR, (
         f"process machinery at {rate:,.0f} events/s "
         f"(floor {PROCESS_FLOOR:,})")
+
+
+def _pump_percentiles(samples, calls):
+    """Repeated percentile reads over a fixed sample set — the phase
+    aggregator's access pattern (many percentile calls per histogram,
+    no adds in between).  The cached sorted view makes each call O(1);
+    an implementation that re-sorts per call is ~1000x under the floor
+    at this sample count."""
+    hist = Histogram()
+    for i in range(samples):
+        hist.add(((i * 2654435761) % samples) / samples)
+    start = time.perf_counter()
+    for i in range(calls):
+        hist.percentile(float(i % 100))
+    return calls / (time.perf_counter() - start)
+
+
+def test_percentile_calls_use_cached_sort(benchmark):
+    rate = benchmark.pedantic(
+        lambda: _pump_percentiles(samples=50_000, calls=5_000),
+        rounds=1, iterations=1)
+    print(f"\nhistogram percentile: {rate:,.0f} calls/s")
+    assert rate >= PERCENTILE_FLOOR, (
+        f"Histogram.percentile at {rate:,.0f} calls/s "
+        f"(floor {PERCENTILE_FLOOR:,}); is the sorted view cached?")

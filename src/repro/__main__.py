@@ -10,6 +10,10 @@
                                  ([path] [--json] [--rule R]
                                  [--write-baseline]); exits nonzero on
                                  new findings
+``python -m repro trace``      — causal request tracing: span trees and
+                                 per-phase latency attribution
+                                 ([--phases] [--scale S] [--workload W]
+                                 [--disk D]); see OBSERVABILITY.md
 """
 
 from __future__ import annotations
@@ -114,8 +118,11 @@ def main(argv) -> int:
     if command == "lint":
         from .analysis.cli import main as lint_main
         return lint_main(rest)
-    print(f"unknown command {command!r}; try 'bench', 'demo', 'chaos' "
-          f"or 'lint'")
+    if command == "trace":
+        from .obs.cli import main as trace_main
+        return trace_main(rest)
+    print(f"unknown command {command!r}; try 'bench', 'demo', 'chaos', "
+          f"'lint' or 'trace'")
     return 2
 
 

@@ -34,7 +34,7 @@ __all__ = [
     "ablation_parallel_propose", "ablation_group_commit",
     "ablation_piggyback_commits", "ablation_skewed_reads",
     "ablation_batching",
-    "ALL_EXPERIMENTS",
+    "ALL_EXPERIMENTS", "PHASE_PROBES",
 ]
 
 
@@ -45,6 +45,11 @@ class ExperimentResult:
     series: Dict[str, List] = field(default_factory=dict)
     checks: Dict[str, bool] = field(default_factory=dict)
     notes: str = ""
+    #: per-phase latency attribution from a fixed-size traced probe run
+    #: (see :func:`_phase_probe`); ``{op: {count, total_mean_ms, phases}}``
+    #: as produced by :func:`repro.obs.phase_summary`.  Empty when the
+    #: experiment defines no probe.
+    phases: Dict[str, dict] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -62,6 +67,44 @@ def _threads(base: List[int], scale: float, floor: int = 2) -> List[int]:
 
 def _ops(scale: float, base: int = 50) -> int:
     return max(15, int(round(base * min(1.0, scale * 2))))
+
+
+def _phase_probe(spin_cfg=None, workload=None, threads: int = 16,
+                 ops: int = 30, n_nodes: int = 10,
+                 seed: int = 1) -> Dict[str, dict]:
+    """One fixed-size traced load point for per-phase attribution.
+
+    Deliberately *not* scaled by ``scale``: the probe is cheap (a few
+    hundred requests, every one traced) and keeping its size fixed makes
+    the ``phases`` section of ``BENCH_report.json`` comparable across
+    report scales.  The probe runs a separate cluster from the latency
+    sweeps, so tracing overhead can never contaminate the curves.
+    """
+    from ..obs import RequestTracer, phase_summary
+    tracer = RequestTracer(sample_every=1)
+    target = SpinnakerTarget(n_nodes, config=spin_cfg, seed=seed,
+                             request_tracer=tracer)
+    run_load(target, workload or write_workload(), threads,
+             ops_per_thread=ops, warmup_ops=8)
+    return phase_summary(tracer)
+
+
+#: Experiments with a phase-attribution probe: exp_id -> probe callable.
+#: ``bench/report.py`` uses this both when building fresh reports and to
+#: refresh only the ``phases`` sections of an existing report.
+PHASE_PROBES: Dict[str, Callable[..., Dict[str, dict]]] = {
+    "fig8": lambda seed=1, n_nodes=10: _phase_probe(
+        workload=read_workload("strong", preload_rows=500),
+        n_nodes=n_nodes, seed=seed),
+    "fig9": lambda seed=1, n_nodes=10: _phase_probe(
+        n_nodes=n_nodes, seed=seed),
+    "fig13": lambda seed=1, n_nodes=10: _phase_probe(
+        spin_cfg=SpinnakerConfig(log_profile=DiskProfile.ssd_log()),
+        n_nodes=n_nodes, seed=seed),
+    "fig16": lambda seed=1, n_nodes=10: _phase_probe(
+        spin_cfg=SpinnakerConfig(log_profile=DiskProfile.memory_log()),
+        n_nodes=n_nodes, seed=seed),
+}
 
 
 def _interp_at(points: List[LoadPoint], load: float) -> Optional[float]:
@@ -130,6 +173,7 @@ def fig8_read_latency(scale: float = 1.0, seed: int = 1,
     result.notes = (f"low-load ms: consistent={cons[0].mean_ms:.2f} "
                     f"timeline={tl_low:.2f} quorum={quo[0].mean_ms:.2f} "
                     f"weak={weak_low:.2f}")
+    result.phases = PHASE_PROBES["fig8"](seed=seed, n_nodes=n_nodes)
     return result
 
 
@@ -171,6 +215,7 @@ def fig9_write_latency(scale: float = 1.0, seed: int = 1,
     result.checks["mean_gap_roughly_5_to_10pct"] = 0.02 <= mean_gap <= 0.18
     result.notes = (f"mean gap {mean_gap:+.1%}; per point: "
                     + ", ".join(f"{g:+.1%}" for g in gaps))
+    result.phases = PHASE_PROBES["fig9"](seed=seed, n_nodes=n_nodes)
     return result
 
 
@@ -373,6 +418,7 @@ def fig13_ssd(scale: float = 1.0, seed: int = 1,
         >= 0.7 * len(spin + cass))
     result.notes = (f"spinnaker low-load {spin[0].mean_ms:.2f} ms; "
                     f"cassandra {cass[0].mean_ms:.2f} ms")
+    result.phases = PHASE_PROBES["fig13"](seed=seed, n_nodes=n_nodes)
     return result
 
 
@@ -437,6 +483,7 @@ def fig16_memory_log(scale: float = 1.0, seed: int = 1,
     result.checks["around_2ms_before_knee"] = (
         min(p.mean_ms for p in points) <= 3.0)
     result.notes = f"low-load latency {points[0].mean_ms:.2f} ms"
+    result.phases = PHASE_PROBES["fig16"](seed=seed, n_nodes=n_nodes)
     return result
 
 

@@ -64,9 +64,11 @@ class SpinnakerTarget:
     kind = "spinnaker"
 
     def __init__(self, n_nodes: int = 10,
-                 config: Optional[SpinnakerConfig] = None, seed: int = 0):
+                 config: Optional[SpinnakerConfig] = None, seed: int = 0,
+                 request_tracer=None):
         self.cluster = SpinnakerCluster(n_nodes=n_nodes, config=config,
-                                        seed=seed)
+                                        seed=seed,
+                                        request_tracer=request_tracer)
         self.sim = self.cluster.sim
 
     def start(self) -> None:

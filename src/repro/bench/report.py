@@ -6,7 +6,11 @@ shape-check verdicts; EXPERIMENTS.md records a full-scale run.
 ``--json`` additionally writes full machine-readable results for
 downstream tooling; ``--report`` writes the compact per-experiment
 summary (``BENCH_report.json`` at the repo root) that successive PRs
-diff to track performance.
+diff to track performance.  Experiments with a phase probe
+(``PHASE_PROBES``) embed a ``phases`` section — per-phase latency
+attribution from ``repro.obs`` (see OBSERVABILITY.md); ``--refresh-phases
+FILE`` re-runs only the probes and rewrites the ``phases`` sections of
+an existing report without re-running the (much slower) sweeps.
 """
 
 from __future__ import annotations
@@ -16,10 +20,11 @@ import json
 import sys
 from typing import Dict, List
 
-from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from .experiments import ALL_EXPERIMENTS, PHASE_PROBES, ExperimentResult
 from .harness import LoadPoint
 
-__all__ = ["render", "to_dict", "summarize", "write_bench_report", "main"]
+__all__ = ["render", "to_dict", "summarize", "write_bench_report",
+           "refresh_phases", "main"]
 
 
 def to_dict(result: ExperimentResult) -> dict:
@@ -30,7 +35,7 @@ def to_dict(result: ExperimentResult) -> dict:
             series[label] = [dataclasses.asdict(p) for p in data]
         else:
             series[label] = list(data)
-    return {
+    out = {
         "experiment": result.exp_id,
         "title": result.title,
         "series": series,
@@ -38,6 +43,9 @@ def to_dict(result: ExperimentResult) -> dict:
         "passed": result.passed,
         "notes": result.notes,
     }
+    if result.phases:
+        out["phases"] = result.phases
+    return out
 
 
 def summarize(result: ExperimentResult) -> dict:
@@ -59,13 +67,16 @@ def summarize(result: ExperimentResult) -> dict:
             }
         else:
             series[label] = list(data)
-    return {
+    out = {
         "title": result.title,
         "passed": result.passed,
         "checks": dict(result.checks),
         "series": series,
         "notes": result.notes,
     }
+    if result.phases:
+        out["phases"] = result.phases
+    return out
 
 
 def write_bench_report(results: List[ExperimentResult], path: str,
@@ -78,6 +89,42 @@ def write_bench_report(results: List[ExperimentResult], path: str,
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def refresh_phases(path: str, seed: int = 1) -> List[str]:
+    """Re-run every phase probe and splice the results into an existing
+    report file, leaving the sweep-derived sections untouched.
+
+    The probes are fixed-size and independent of the report's ``scale``
+    (see ``_phase_probe``), so refreshing them does not invalidate the
+    recorded curves.  Returns the experiment ids refreshed.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    refreshed = []
+    for exp_id in sorted(PHASE_PROBES):
+        entry = payload.get("experiments", {}).get(exp_id)
+        if entry is None:
+            continue
+        entry["phases"] = PHASE_PROBES[exp_id](seed=seed)
+        refreshed.append(exp_id)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return refreshed
+
+
+def _render_phases(phases: Dict[str, dict]) -> List[str]:
+    lines = ["  phases (traced probe):"]
+    for op in sorted(phases):
+        entry = phases[op]
+        lines.append(f"    {op}: n={entry['count']}  "
+                     f"mean={entry['total_mean_ms']:.2f} ms")
+        # built in canonical phase order by phase_summary
+        for name, row in entry["phases"].items():  # lint: allow(dict-order)
+            lines.append(f"      {name:<14}{row['mean_ms']:>9.3f} ms  "
+                         f"{row['share'] * 100:5.1f}%")
+    return lines
 
 
 def _render_points(label: str, points: List[LoadPoint]) -> List[str]:
@@ -110,6 +157,8 @@ def render(result: ExperimentResult) -> str:
             lines.extend(_render_points(label, data))
         else:
             lines.extend(_render_rows(label, data))
+    if result.phases:
+        lines.extend(_render_phases(result.phases))
     if result.notes:
         lines.append(f"  notes: {result.notes}")
     for check, ok in result.checks.items():
@@ -122,6 +171,7 @@ def main(argv: List[str]) -> int:
     scale = 1.0
     json_path = None
     report_path = None
+    refresh_path = None
     names: List[str] = []
     it = iter(argv)
     for arg in it:
@@ -131,8 +181,15 @@ def main(argv: List[str]) -> int:
             json_path = next(it)
         elif arg == "--report":
             report_path = next(it)
+        elif arg == "--refresh-phases":
+            refresh_path = next(it)
         else:
             names.append(arg)
+    if refresh_path is not None:
+        refreshed = refresh_phases(refresh_path)
+        print(f"refreshed phases of {', '.join(refreshed)} "
+              f"in {refresh_path}")
+        return 0
     if not names:
         names = list(ALL_EXPERIMENTS)
     status = 0

@@ -6,6 +6,37 @@ subsets until no event can be removed without the violation vanishing
 (the classic ddmin / delta-debugging loop).  The result is the shortest
 fault sequence that still breaks the cluster — usually two or three
 events instead of dozens — printed as a ready-to-paste regression test.
+
+ddmin state machine (granularity ``g``, current schedule ``S``)::
+
+    START (g=2) ──▶ TRY: drop one of g chunks of S, replay the rest
+      TRY ──still fails──▶ S := subset, g := max(g-1, 2), restart TRY
+      TRY ──all chunks needed, chunk > 1──▶ g := min(|S|, 2g), TRY
+      TRY ──all chunks needed, chunk == 1──▶ DONE (1-minimal)
+      any ──replay budget exhausted──▶ DONE (best-so-far)
+
+Invariants:
+
+- **Failure is preserved.** ``fails(S)`` holds on entry and after every
+  accepted reduction; the returned schedule always still reproduces.
+- **Replays are pure.** Every candidate runs in a fresh simulator from
+  the same ``(seed, config)``; no state leaks between replays, so the
+  shrink itself is deterministic and its output reproducible.
+- **Budgeted.** At most ``max_runs`` cluster replays; exhaustion returns
+  the best reduction so far instead of looping on a stubborn schedule.
+
+Failure cases:
+
+- *Flaky predicate*: impossible here by construction — a violation is a
+  function of the schedule, so "fails once, passes on retry" cannot
+  happen; if it ever does, the simulator's determinism is the bug (see
+  ``repro lint``).
+- *Interdependent faults*: ddmin yields a 1-minimal (no single event
+  removable), not a global minimum; a pair of mutually-required faults
+  survives together, which is exactly what the regression test should
+  capture.
+- *Original run passes*: nothing to shrink; ``ShrinkResult.failed`` is
+  False and the schedule is returned untouched.
 """
 
 from __future__ import annotations

@@ -13,20 +13,60 @@ concurrency control::
     # retry on VersionMismatch
 
 All methods are generator functions for use with ``yield from`` inside
-simulation processes.  Routing: the client works off an immutable
-:class:`~repro.core.partition.CohortMap` snapshot, caches each cohort's
-leader, and follows ``not-leader`` hints; timeline reads pick a random
-live replica.  When a ``wrong-node`` reply carries a ``map_version``
-newer than the snapshot, the client fetches a fresh map from the
-replying node and re-routes — elastic membership changes thus propagate
-to clients lazily, with no broadcast.  The coordination service is never
-on the client's path (§4.2).
+simulation processes.
+
+Routing state machine (per operation, inside :meth:`_call`)
+-----------------------------------------------------------
+The client works off an immutable
+:class:`~repro.core.partition.CohortMap` snapshot plus a per-cohort
+leader cache, and walks one request through these transitions until an
+``ok`` reply, a terminal error, or the op deadline:
+
+``send -> ok``                 cache target as leader (strong ops), done.
+``send -> RpcTimeout``         rotate to the next member (strong) or a
+                               random non-timed-out replica (timeline).
+``send -> not-leader/unavailable``  follow the ``hint`` if given, else
+                               rotate; backoff ``client_retry_backoff``.
+``send -> wrong-node``         the replier holds no replica for the key:
+                               drop a poisoned leader-cache entry, fetch
+                               a fresh map when the reply advertises a
+                               newer ``map_version``, re-resolve the
+                               cohort (``relocate``), backoff, retry.
+``send -> version-mismatch``   raise :class:`VersionMismatch` (terminal;
+                               retrying cannot succeed).
+
+Invariants
+----------
+- At most one attempt of an operation is in flight at a time; retries
+  never race each other (matters for tracing and FIFO channels).
+- The leader cache only ever holds names that were members of the
+  cohort in the snapshot that produced them; map refreshes evict
+  entries invalidated by membership changes.
+- Total time spent retrying is bounded by ``client_op_timeout`` and
+  ``client_max_retries``, whichever trips first; the op then raises
+  :class:`RequestTimeout`.
+
+Failure cases: a crashed target costs one ``per_try`` timeout before
+rotation; a stale map costs one extra round trip (``GetCohortMap``); a
+partitioned client eventually times out every member and surfaces
+:class:`RequestTimeout` to the workload.
+
+Elastic membership propagates to clients lazily through the
+``wrong-node`` path — there is no broadcast, and the coordination
+service is never on the client's path (§4.2).
+
+Tracing: when built with a :class:`~repro.obs.trace.RequestTracer`,
+:meth:`_call` opens the root span, stamps ``ctx.last_sent_at`` before
+every (re)send so the server can delimit ``route``, and closes the
+trace with a ``reply`` span (see ``OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, Optional
 
+from ..obs.trace import NullRequestTracer
 from ..sim.events import Simulator
 from ..sim.network import Endpoint, Network, RpcTimeout
 from ..sim.process import timeout
@@ -44,11 +84,18 @@ __all__ = ["SpinnakerClient"]
 class SpinnakerClient:
     """A datastore client bound to one (simulated) client machine."""
 
+    #: message type -> trace op label (root span name)
+    _TRACE_OPS = {"ClientGet": "read", "ClientScan": "scan",
+                  "ClientWrite": "write", "ClientMultiWrite": "write",
+                  "ClientTransaction": "txn"}
+
     def __init__(self, sim: Simulator, network: Network, name: str,
                  partitioner: RangePartitioner, config: SpinnakerConfig,
-                 rng: RngRegistry):
+                 rng: RngRegistry, request_tracer=None):
         self.sim = sim
         self.name = name
+        self.request_tracer = (request_tracer if request_tracer is not None
+                               else NullRequestTracer())
         self.partitioner = partitioner
         self.config = config
         self.endpoint: Endpoint = network.endpoint(name)
@@ -243,9 +290,33 @@ class SpinnakerClient:
 
     def _call(self, cohort, msg, size: int, target: str, strong: bool,
               relocate=None):
-        """Send with retries.  ``relocate`` re-resolves the cohort from
-        the (possibly refreshed) map snapshot after a ``wrong-node``
-        reply; without it the client can only rotate members."""
+        """Send with retries; root-span bracket when tracing is on.
+        ``relocate`` re-resolves the cohort from the (possibly
+        refreshed) map snapshot after a ``wrong-node`` reply; without it
+        the client can only rotate members."""
+        tracer = self.request_tracer
+        ctx = None
+        if tracer.enabled:
+            op = self._TRACE_OPS.get(type(msg).__name__, "op")
+            ctx = tracer.begin(op, self.name)
+            if ctx is not None:
+                msg = replace(msg, trace=ctx)
+        try:
+            result = yield from self._call_loop(cohort, msg, size, target,
+                                                strong, relocate, ctx)
+        except BaseException as exc:
+            if ctx is not None:
+                tracer.finish(ctx.root, error=type(exc).__name__)
+            raise
+        if ctx is not None:
+            start = (ctx.server_done_at if ctx.server_done_at is not None
+                     else self.sim.now)
+            tracer.span_at(ctx, "reply", self.name, start=start)
+            tracer.finish(ctx.root)
+        return result
+
+    def _call_loop(self, cohort, msg, size: int, target: str, strong: bool,
+                   relocate, ctx):
         cfg = self.config
         deadline = self.sim.now + cfg.client_op_timeout
         attempt = 0
@@ -256,6 +327,8 @@ class SpinnakerClient:
                 raise RequestTimeout(
                     f"{type(msg).__name__} gave up after {attempt} tries")
             per_try = min(remaining, 2.0)
+            if ctx is not None:
+                ctx.last_sent_at = self.sim.now
             try:
                 reply = yield self.endpoint.request(target, msg, size=size,
                                                     timeout=per_try)

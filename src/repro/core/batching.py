@@ -31,12 +31,41 @@ Groups submitted together (multi-operation transactions, §8.2) are
 indivisible: they always share one force and one propose, preserving
 the no-partial-persistence guarantee even when batches are repacked.
 
-Safety across leadership changes: buffered records sit in the commit
-queue but are neither logged nor proposed yet.  ``clear()`` — called on
-crash and step-down — drops them from the queue so a later commit
-message can never commit a phantom, and bumps a generation counter so
-force callbacks from a previous incarnation cannot corrupt the
-in-flight accounting of the next one.
+Buffer state machine (per leader replica)
+-----------------------------------------
+::
+
+    EMPTY --submit--> BUFFERED --immediate/limit flush--> EMPTY
+    BUFFERED --pressure & force in flight--> RIDING (flush when the
+             in-flight force's callback fires)
+    BUFFERED --pressure & no force in flight--> WINDOW(timer)
+    WINDOW --timer expiry | on_progress drain | limit--> flush -> EMPTY
+    any state --clear() on crash/step-down--> EMPTY (generation += 1)
+
+Invariants
+----------
+- Groups submitted together are indivisible: ``chunk_groups`` never
+  splits one, so a multi-operation transaction (§8.2) always shares one
+  force and one propose — no partial persistence.
+- Buffered records are already in the commit queue but never logged or
+  proposed; ``clear()`` drops them from the queue so a later commit
+  message cannot commit a phantom.
+- ``_inflight_forces`` counts only forces issued by the current
+  generation: the generation guard makes a stale force callback (from
+  before a crash or step-down) a no-op, so it can neither corrupt the
+  accounting nor flush the next incarnation's buffer.
+- Batches are LSN-contiguous (submission order is LSN order and order
+  is preserved), so a single cumulative ack covers a whole batch.
+
+Failure cases: leadership lost with a window pending → the timer is
+cancelled and the buffer dropped; leadership lost with a force in
+flight → the force completes against a bumped generation and is
+ignored; a flush discovering the replica is no longer leader clears
+instead of sending.
+
+Tracing: ``_send`` gives every traced member group a ``log_force`` span
+over the shared batched force (see ``OBSERVABILITY.md`` on reading
+shared-force spans).
 """
 
 from __future__ import annotations
@@ -194,6 +223,20 @@ class ProposalBatcher:
         replica = self.replica
         node = replica.node
         lsns = [record.lsn for record in batch]
+        if replica._traces:
+            # Every traced member group gets its own ``log_force`` span
+            # over the shared batched force: identical [start, end] per
+            # member, exactly one span per trace — each request sees the
+            # full force it waited on, and per-trace sums never count a
+            # force twice.
+            tracer = node.request_tracer
+            shared = sum(1 for lsn in lsns if lsn in replica._traces)
+            for lsn in lsns:
+                state = replica._traces.get(lsn)
+                if state is not None and state.force_span is None:
+                    state.force_span = tracer.start(
+                        state.ctx, "log_force", node.name,
+                        batch_records=len(batch), traced_members=shared)
         force_ev = node.wal.append_batch(batch)
         self._inflight_forces += 1
         gen = self._gen
@@ -202,6 +245,8 @@ class ProposalBatcher:
             if gen != self._gen:
                 return      # a crash/step-down reset the pipeline
             self._inflight_forces -= 1
+            for lsn in lsns:
+                replica._trace_force_done(lsn)
             for lsn in lsns:
                 replica.queue.mark_forced(lsn)
             replica._advance()

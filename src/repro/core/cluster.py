@@ -32,7 +32,7 @@ class SpinnakerCluster:
                  seed: int = 0,
                  node_names: Optional[List[str]] = None,
                  latency: Optional[LatencyModel] = None,
-                 tracer=None):
+                 tracer=None, request_tracer=None):
         self.config = (config or SpinnakerConfig()).validate()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
@@ -41,6 +41,10 @@ class SpinnakerCluster:
         self.tracer = tracer if tracer is not None else NullTracer()
         if getattr(self.tracer, "sim", False) is None:
             self.tracer.sim = self.sim
+        from ..obs.trace import NullRequestTracer
+        self.request_tracer = (request_tracer if request_tracer is not None
+                               else NullRequestTracer())
+        self.request_tracer.bind(self.sim, self.rng)
         names = node_names or [f"node{i}" for i in range(n_nodes)]
         mapper = (ordered_key_of if self.config.order_preserving_keys
                   else key_of)
@@ -50,7 +54,8 @@ class SpinnakerCluster:
         self.nodes: Dict[str, SpinnakerNode] = {
             name: SpinnakerNode(self.sim, self.network, self.rng, name,
                                 self.partitioner, self.config,
-                                tracer=self.tracer)
+                                tracer=self.tracer,
+                                request_tracer=self.request_tracer)
             for name in names
         }
         self._clients: Dict[str, SpinnakerClient] = {}
@@ -99,7 +104,8 @@ class SpinnakerCluster:
         self.partitioner.add_node(name)
         node = SpinnakerNode(self.sim, self.network, self.rng, name,
                              self.partitioner, self.config,
-                             tracer=self.tracer)
+                             tracer=self.tracer,
+                             request_tracer=self.request_tracer)
         self.nodes[name] = node
         node.boot()
         return node
@@ -175,7 +181,8 @@ class SpinnakerCluster:
         if client is None:
             client = SpinnakerClient(self.sim, self.network, name,
                                      self.partitioner, self.config,
-                                     self.rng)
+                                     self.rng,
+                                     request_tracer=self.request_tracer)
             self._clients[name] = client
         return client
 

@@ -36,6 +36,9 @@ class ClientGet:
     key: bytes
     colname: bytes
     consistent: bool          # §3: strong (True) vs timeline (False)
+    #: optional causal-tracing context (see ``repro.obs``); None when the
+    #: request is unsampled or tracing is off.
+    trace: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,7 @@ class ClientScan:
     end_key: Optional[bytes]   # exclusive; None = end of cohort range
     limit: int
     consistent: bool
+    trace: Optional[object] = None   # repro.obs TraceContext, if sampled
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,7 @@ class ClientWrite:
     value: Optional[bytes]
     tombstone: bool = False
     expected_version: Optional[int] = None
+    trace: Optional[object] = None   # repro.obs TraceContext, if sampled
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,7 @@ class ClientMultiWrite:
     columns: Tuple[Tuple[bytes, Optional[bytes]], ...]  # (col, value)
     tombstone: bool = False
     expected_versions: Optional[Tuple[Optional[int], ...]] = None
+    trace: Optional[object] = None   # repro.obs TraceContext, if sampled
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,7 @@ class ClientTransaction:
     never surface a prefix of the transaction."""
 
     ops: Tuple[TxnOp, ...]
+    trace: Optional[object] = None   # repro.obs TraceContext, if sampled
 
     @property
     def key(self) -> bytes:

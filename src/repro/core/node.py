@@ -51,9 +51,12 @@ class SpinnakerNode:
     def __init__(self, sim: Simulator, network: Network, rng: RngRegistry,
                  name: str, partitioner: RangePartitioner,
                  config: SpinnakerConfig, coord_name: str = "coord",
-                 tracer=None):
+                 tracer=None, request_tracer=None):
+        from ..obs.trace import NullRequestTracer
         from ..sim.tracing import NullTracer
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.request_tracer = (request_tracer if request_tracer is not None
+                               else NullRequestTracer())
         self.sim = sim
         self.network = network
         self.name = name
@@ -389,6 +392,10 @@ class SpinnakerNode:
         # lint: allow(dict-order) — replicas inserted in partitioner order
         for replica in self.replicas.values():
             replica.crash()
+        # Sweep any request spans still open here (replica cleanup gets
+        # the leader-side write state; this catches the rest) so no
+        # trace shows work continuing on a dead machine.
+        self.request_tracer.truncate_node(self.name)
 
     def restart(self) -> None:
         self.boot()
@@ -457,6 +464,7 @@ class SpinnakerNode:
         elif isinstance(payload, Ack):
             # One-way ack (sent during follower-driven catch-up).
             replica.queue.add_ack_upto(payload.lsn, payload.sender)
+            replica._trace_acked(payload.lsn)
             replica._advance()
         elif isinstance(payload, CatchupRequest):
             self.spawn(self._handle_catchup_request(req, replica),

@@ -22,6 +22,52 @@ Two move kinds exist:
   catch-up ships SSTables, never a partial log).
 * ``replace`` — a member swap; the joiner is bulk-caught-up *before* the
   switch so the commit only has to ship the final delta.
+
+Migration state machine (per change, driven by
+:func:`handle_migration_start` on the source leader)::
+
+    IDLE ──MigrationStart──▶ PREPARING       joiner replicas created
+      PREPARING ──ok──────▶ CATCHING_UP     (replace only: bulk delta)
+      CATCHING_UP ──ok────▶ DRAINING        writes blocked, queue drains
+      DRAINING ──empty────▶ COMMITTING      membership record replicated
+      COMMITTING ──commit─▶ FINISHING       map switched (commit hook);
+                                            old members told, board
+                                            published, joiners re-prepared
+      FINISHING ──────────▶ IDLE            respond {ok: true}
+
+    any state ──leader lost / peer timeout──▶ IDLE  (respond {ok: false};
+                                            the driver retries the plan)
+
+Invariants:
+
+- **Single writer per version.** Change ``v`` only commits on the leader
+  holding map version ``v - 1``; stale plans are rejected, and a change
+  seen twice (``version <= part.version``) re-runs only the idempotent
+  side effects.
+- **Replicas before the switch.** Joiner replicas exist (PREPARING)
+  before the record commits, so post-switch elections and catch-up
+  always have a live endpoint to land on.
+- **The commit is the switch.** No node acts on a new map until it
+  observes the membership record as *committed* — the same durability
+  the paper gives every write.  There is no prepare/commit side channel
+  to half-apply.
+- **Snapshot at the horizon.** Split residents filter their storage at
+  the commit horizon; the joiner's WAL GC floor equals that horizon, so
+  catch-up ships SSTables, never a partial log (§6.3 discipline).
+
+Failure cases:
+
+- *Leader crashes mid-migration*: ``migrating`` dies with it; the new
+  leader of the source cohort has either (a) no record — the driver's
+  retry starts over, or (b) the committed record — retry hits the
+  ``already-applied`` path and just re-runs side effects.
+- *Joiner crashes during catch-up*: the prepare/catch-up step times out,
+  the round aborts, the driver retries; an already-prepared replica is
+  reconciled away if the plan changes.
+- *Retired member misses the commit*: it is explicitly sent commit info
+  over the old map immediately after commit; if even that is lost, any
+  later §6 path (replay, catch-up, gossip of the map version) converges
+  it before it serves stale reads, because clients route by map version.
 """
 
 from __future__ import annotations

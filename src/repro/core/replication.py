@@ -20,6 +20,15 @@ Steady state (Fig. 4):
 
 Strongly consistent reads are served only by the leader; timeline reads
 by any replica (possibly stale until the next commit message).
+
+Tracing: when a client request carries a
+:class:`~repro.obs.trace.TraceContext`, the leader attributes its side
+of the write to spans — ``route`` (arrival to pipeline entry),
+``propose`` (pipeline entry to propose fan-out), ``log_force`` (force
+submit to durable), ``replicate_rtt`` (propose to first covering ack)
+and ``quorum_wait`` (local durability to group commit) — tracked in
+``_traces`` keyed by the write group's top LSN, and truncated on crash
+or step-down.  See ``OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -59,6 +68,20 @@ def _ok(result) -> Dict:
     return {"ok": True, "result": result}
 
 
+class _WriteTrace:
+    """Leader-side trace state for one in-flight write group."""
+
+    __slots__ = ("ctx", "propose_span", "force_span", "rtt_span",
+                 "force_done")
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.propose_span = None
+        self.force_span = None
+        self.rtt_span = None
+        self.force_done = None
+
+
 class CohortReplica:
     """This node's participation in one cohort."""
 
@@ -87,6 +110,9 @@ class CohortReplica:
         self._resyncing = False
         #: set while this leader is executing a membership change
         self.migrating = False
+        #: in-flight request-trace state, write-group top LSN -> state;
+        #: insertion order == LSN order (writes enter in LSN order)
+        self._traces: Dict[LSN, _WriteTrace] = {}
         # counters
         self.writes_served = 0
         self.reads_served = 0
@@ -177,16 +203,24 @@ class CohortReplica:
                          "expected": expected, "actual": actual},
                         size=64)
                     return
+        ctx = msg.trace
+        if ctx is not None:
+            self._trace_route(ctx)
         records = self._make_records(msg, column_ops)
         if cfg.parallel_force_and_propose:
-            done = self._replicate(records)
+            done = self._replicate(records, ctx=ctx)
         else:
             # Ablation: force the leader's log *before* proposing, as a
             # naive implementation would — serializing the two disk
             # forces on the critical path.
+            force_start = node.sim.now
             forces = [node.wal.append(r, force=True) for r in records]
             yield all_of(node.sim, forces)
-            done = self._replicate(records, already_logged=True)
+            if ctx is not None:
+                node.request_tracer.span_at(
+                    ctx, "log_force", node.name, start=force_start,
+                    records=len(records))
+            done = self._replicate(records, already_logged=True, ctx=ctx)
         yield done
         self.writes_served += 1
         req.respond(_ok(PutResult(version=records[-1].version)), size=64)
@@ -248,7 +282,10 @@ class CohortReplica:
                 value=None if op.tombstone else op.value,
                 version=version, timestamp=node.sim.now,
                 tombstone=op.tombstone))
-        done = self._replicate(records, atomic=True)
+        ctx = txn.trace
+        if ctx is not None:
+            self._trace_route(ctx)
+        done = self._replicate(records, atomic=True, ctx=ctx)
         yield done
         self.writes_served += 1
         req.respond(_ok(PutResult(version=records[-1].version)), size=64)
@@ -283,26 +320,41 @@ class CohortReplica:
 
     def _replicate(self, records: List[WriteRecord],
                    already_logged: bool = False,
-                   atomic: bool = False) -> Event:
+                   atomic: bool = False, ctx=None) -> Event:
         """Fig. 4, leader side: force + queue + propose, all in parallel.
 
         Returns an event that fires when every record has committed.
         ``atomic`` forces the batch with a single log operation (§8.2:
         multi-operation transactions must never persist partially).
+        ``ctx`` (a sampled request's trace context) registers the write
+        group in ``_traces`` for per-phase attribution.
         """
         node, cfg = self.node, self.node.config
         done = Event(node.sim)
         remaining = len(records)
+        top = records[-1].lsn
+        state = None
+        if ctx is not None:
+            state = _WriteTrace(ctx)
+            state.propose_span = node.request_tracer.start(
+                ctx, "propose", node.name, records=len(records),
+                queue_depth=len(self.queue))
+            self._traces[top] = state
 
         def on_commit(_record: WriteRecord) -> None:
             nonlocal remaining
             remaining -= 1
-            if remaining == 0 and not done.triggered:
-                done.succeed()
+            if remaining == 0:
+                if state is not None:
+                    self._finish_write_trace(top)
+                if not done.triggered:
+                    done.succeed()
 
         for record in records:
             self.queue.add(record, on_commit=on_commit)
         if already_logged:
+            if state is not None:
+                state.force_done = node.sim.now
             for record in records:
                 self._on_local_force(record.lsn)
         elif cfg.propose_batching:
@@ -311,15 +363,24 @@ class CohortReplica:
             self.batcher.submit(records)
             return done
         elif atomic:
+            if state is not None:
+                state.force_span = node.request_tracer.start(
+                    ctx, "log_force", node.name, records=len(records))
             batch_ev = node.wal.append_batch(records)
 
             def _all_forced(_ev, lsns=[r.lsn for r in records]):
+                self._trace_force_done(lsns[-1])
                 for lsn in lsns:
                     self.queue.mark_forced(lsn)
                 self._advance()
 
             batch_ev.add_callback(_all_forced)
         else:
+            if state is not None:
+                # One span covers the group: per-record forces complete
+                # in submit order, so the top LSN's force ends it.
+                state.force_span = node.request_tracer.start(
+                    ctx, "log_force", node.name, records=len(records))
             for record in records:
                 force_ev = node.wal.append(record, force=True)
                 force_ev.add_callback(
@@ -336,11 +397,25 @@ class CohortReplica:
             committed_lsn=(self.committed_lsn
                            if cfg.piggyback_commits else None))
         size = sum(r.encoded_size() for r in records) + 64
+        if self._traces:
+            tracer = node.request_tracer
+            for record in records:
+                state = self._traces.get(record.lsn)
+                if state is None:
+                    continue
+                if state.propose_span is not None:
+                    tracer.finish(state.propose_span,
+                                  batch=len(records))
+                if state.rtt_span is None:
+                    state.rtt_span = tracer.start(
+                        state.ctx, "replicate_rtt", node.name,
+                        peers=len(self.peers()))
         for peer in self.peers():
             ack_ev = node.endpoint.request(peer, propose, size=size)
             ack_ev.add_callback(self._on_ack)
 
     def _on_local_force(self, lsn: LSN) -> None:
+        self._trace_force_done(lsn)
         self.queue.mark_forced(lsn)
         self._advance()
 
@@ -353,6 +428,7 @@ class CohortReplica:
         if not isinstance(ack, Ack) or ack.cohort_id != self.cohort_id:
             return
         self.queue.add_ack_upto(ack.lsn, ack.sender)
+        self._trace_acked(ack.lsn)
         self._advance()
 
     def _advance(self) -> None:
@@ -367,6 +443,80 @@ class CohortReplica:
                     self.node.on_membership_commit(record)
             self.node.maybe_flush(self)
             self.batcher.on_progress()
+
+    # ------------------------------------------------------------------
+    # Request tracing (no-ops unless a request carried a TraceContext;
+    # every hook is guarded so the untraced path costs one branch)
+    # ------------------------------------------------------------------
+    def _trace_route(self, ctx) -> None:
+        """Close the ``route`` phase: client send (this attempt) up to
+        the instant the write enters the replication pipeline."""
+        node = self.node
+        start = (ctx.last_sent_at if ctx.last_sent_at is not None
+                 else ctx.root.start)
+        node.request_tracer.span_at(ctx, "route", node.name, start=start)
+
+    def _trace_force_done(self, lsn: LSN) -> None:
+        """The write group topped by ``lsn`` is locally durable: close
+        its ``log_force`` span and stamp the ``quorum_wait`` start."""
+        if not self._traces:
+            return
+        state = self._traces.get(lsn)
+        if state is None:
+            return
+        if state.force_span is not None:
+            self.node.request_tracer.finish(state.force_span)
+        if state.force_done is None:
+            state.force_done = self.node.sim.now
+
+    def _trace_acked(self, lsn: LSN) -> None:
+        """A follower ack covering ``lsn`` arrived: close the
+        ``replicate_rtt`` span of every group it covers (acks are
+        cumulative; ``_traces`` is in ascending top-LSN order)."""
+        if not self._traces:
+            return
+        tracer = self.node.request_tracer
+        for top, state in self._traces.items():
+            if top > lsn:
+                break
+            span = state.rtt_span
+            if span is not None and span.end is None:
+                tracer.finish(span)
+
+    def _finish_write_trace(self, top: LSN) -> None:
+        """The whole group committed: emit ``quorum_wait`` (local
+        durability to group commit) and ``commit_apply``, close any
+        straggler spans, and stamp the reply rendezvous."""
+        state = self._traces.pop(top, None)
+        if state is None:
+            return
+        node = self.node
+        tracer = node.request_tracer
+        now = node.sim.now
+        ctx = state.ctx
+        if state.propose_span is not None:
+            tracer.finish(state.propose_span)
+        if state.rtt_span is not None:
+            tracer.finish(state.rtt_span)
+        start = state.force_done if state.force_done is not None else now
+        tracer.span_at(ctx, "quorum_wait", node.name, start=start, end=now)
+        # The leader applies committed records inline in _advance (no
+        # queueing in this sim), so the span is a zero-length marker.
+        tracer.span_at(ctx, "commit_apply", node.name, start=now, end=now)
+        ctx.server_done_at = now
+
+    def _clear_traces(self) -> None:
+        """Crash / step-down: close in-flight write traces as truncated
+        so half-finished phases are visible in the trace, not leaked."""
+        if not self._traces:
+            return
+        tracer = self.node.request_tracer
+        for state in self._traces.values():
+            for span in (state.propose_span, state.force_span,
+                         state.rtt_span):
+                if span is not None:
+                    tracer.truncate(span)
+        self._traces.clear()
 
     # ------------------------------------------------------------------
     # Leader: periodic commit messages
@@ -557,6 +707,7 @@ class CohortReplica:
                 req.respond(_err("unavailable"), size=64)
                 return
             service = cfg.read_service
+        serve_start = node.sim.now
         yield from serve(node.cpu, service)
         if msg.consistent and not self.is_leader:
             req.respond(_err("not-leader", self.leader), size=64)
@@ -575,6 +726,15 @@ class CohortReplica:
             result = GetResult(value=cell.value, version=cell.version)
             size = 64 + (len(cell.value) if cell.value else 0)
         self.reads_served += 1
+        ctx = msg.trace
+        if ctx is not None:
+            tracer = node.request_tracer
+            start = (ctx.last_sent_at if ctx.last_sent_at is not None
+                     else ctx.root.start)
+            tracer.span_at(ctx, "route", node.name, start=start,
+                           end=serve_start, consistent=msg.consistent)
+            tracer.span_at(ctx, "read_serve", node.name, start=serve_start)
+            ctx.server_done_at = node.sim.now
         req.respond(_ok(result), size=size)
 
     def handle_scan(self, req):
@@ -603,10 +763,21 @@ class CohortReplica:
         service = (cfg.read_service
                    + (cfg.strong_read_overhead if msg.consistent else 0)
                    + cfg.scan_row_service * len(rows))
+        serve_start = node.sim.now
         yield from serve(node.cpu, service)
         if msg.consistent and not self.is_leader:
             req.respond(_err("not-leader", self.leader), size=64)
             return
+        ctx = msg.trace
+        if ctx is not None:
+            tracer = node.request_tracer
+            start = (ctx.last_sent_at if ctx.last_sent_at is not None
+                     else ctx.root.start)
+            tracer.span_at(ctx, "route", node.name, start=start,
+                           end=serve_start, consistent=msg.consistent)
+            tracer.span_at(ctx, "read_serve", node.name, start=serve_start,
+                           rows=len(rows))
+            ctx.server_done_at = node.sim.now
         payload = [
             (key, {col: (cell.value, cell.version)
                    for col, cell in row.items()})
@@ -627,6 +798,7 @@ class CohortReplica:
         self.open_for_writes = False
         self.leader = None
         self.migrating = False
+        self._clear_traces()
         self.batcher.clear()
         self.queue.clear()
         self.engine.crash()
@@ -646,6 +818,7 @@ class CohortReplica:
         self.leader = None
         self.open_for_writes = False
         self.migrating = False
+        self._clear_traces()
         self.batcher.clear()
         self.electing = False
         self.candidate_path = None

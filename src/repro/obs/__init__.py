@@ -1,0 +1,33 @@
+"""Causal per-request observability (`OBSERVABILITY.md`).
+
+Two layers:
+
+- :mod:`repro.obs.trace` — the tracer itself: a :class:`TraceContext`
+  rides on client request messages; protocol code closes timestamped
+  :class:`Span` objects (``route``, ``propose``, ``log_force``,
+  ``replicate_rtt``, ``quorum_wait``, ``commit_apply``, ``reply``) into
+  bounded per-node stores.  :class:`NullRequestTracer` makes the whole
+  machinery a single attribute test when tracing is off.
+- :mod:`repro.obs.phases` — the aggregator: folds a run's spans into
+  per-phase :class:`~repro.sim.metrics.Histogram` objects and renders
+  phase tables and span trees (the `repro trace` CLI, and the
+  ``phases`` section of ``BENCH_report.json``).
+
+This package never imports from :mod:`repro.core`; the protocol imports
+*us*, so tracing stays a leaf dependency.
+"""
+
+from .phases import (READ_PHASES, WRITE_PHASES, collect_traces,
+                     format_phase_table, format_trace, phase_durations,
+                     phase_histograms, phase_summary, slowest_traces)
+from .trace import (NullRequestTracer, RequestTracer, Span, SpanStore,
+                    TraceContext)
+
+__all__ = [
+    "Span", "SpanStore", "TraceContext",
+    "RequestTracer", "NullRequestTracer",
+    "WRITE_PHASES", "READ_PHASES",
+    "collect_traces", "phase_durations", "phase_histograms",
+    "phase_summary",
+    "slowest_traces", "format_trace", "format_phase_table",
+]

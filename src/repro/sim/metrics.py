@@ -20,9 +20,20 @@ class Histogram:
 
     def __init__(self) -> None:
         self._samples: List[float] = []
+        #: sorted view, rebuilt lazily; ``add`` invalidates.  Percentile
+        #: queries are O(1)+amortized sort instead of a sort per call,
+        #: which matters once the phase aggregator asks for p95 of every
+        #: (op, phase) histogram after every bench run.
+        self._sorted: Optional[List[float]] = None
 
     def add(self, value: float) -> None:
         self._samples.append(value)
+        self._sorted = None
+
+    def _sorted_view(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        return self._sorted
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -47,7 +58,7 @@ class Histogram:
         """Linear-interpolated percentile, p in [0, 100]."""
         if not self._samples:
             return float("nan")
-        data = sorted(self._samples)
+        data = self._sorted_view()
         if len(data) == 1:
             return data[0]
         rank = (p / 100.0) * (len(data) - 1)

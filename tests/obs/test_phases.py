@@ -1,0 +1,91 @@
+"""Unit tests for the phase aggregator (repro.obs.phases)."""
+
+import pytest
+
+from repro.obs.phases import (TraceView, format_phase_table, format_trace,
+                              phase_durations, phase_histograms,
+                              phase_summary, slowest_traces)
+from repro.obs.trace import Span
+
+_NEXT_ID = [100]
+
+
+def _span(trace_id, name, node, start, end, parent=0, truncated=False):
+    _NEXT_ID[0] += 1
+    span = Span(trace_id, _NEXT_ID[0], parent, name, node, start)
+    span.end = end
+    span.truncated = truncated
+    return span
+
+
+def _view(trace_id, op="write", total=0.010, spans=()):
+    root = Span(trace_id, trace_id, None, op, "client", 0.0)
+    root.end = total
+    children = sorted(spans, key=lambda s: (s.start, s.span_id))
+    return TraceView(trace_id, root, list(children))
+
+
+def test_phase_durations_sum_same_named_spans():
+    # A retried request has two route spans; both attempts count.
+    view = _view(1, spans=[
+        _span(1, "route", "n0", 0.000, 0.001),
+        _span(1, "route", "n1", 0.004, 0.006),
+        _span(1, "log_force", "n1", 0.006, 0.009),
+    ])
+    durations = phase_durations(view)
+    assert durations["route"] == pytest.approx(0.003)
+    assert durations["log_force"] == pytest.approx(0.003)
+
+
+def test_phase_summary_means_and_shares():
+    views = [
+        _view(1, total=0.010, spans=[
+            _span(1, "route", "n0", 0.0, 0.002),
+            _span(1, "log_force", "n0", 0.002, 0.008)]),
+        _view(2, total=0.020, spans=[
+            _span(2, "route", "n0", 0.0, 0.004),
+            _span(2, "log_force", "n0", 0.004, 0.016)]),
+    ]
+    summary = phase_summary(views)
+    write = summary["write"]
+    assert write["count"] == 2
+    assert write["total_mean_ms"] == pytest.approx(15.0)
+    assert write["phases"]["route"]["mean_ms"] == pytest.approx(3.0)
+    assert write["phases"]["route"]["share"] == pytest.approx(3.0 / 15.0)
+    assert write["phases"]["log_force"]["share"] == pytest.approx(
+        9.0 / 15.0)
+    # canonical phase order, not alphabetical
+    assert list(write["phases"]) == ["route", "log_force"]
+
+
+def test_incomplete_traces_are_excluded_from_histograms():
+    ok = _view(1, spans=[_span(1, "route", "n0", 0.0, 0.001)])
+    failed = _view(2, spans=[_span(2, "route", "n0", 0.0, 0.001)])
+    failed.root.fields = {"error": "RequestTimeout"}
+    hists = phase_histograms([ok, failed])
+    assert hists["write"]["_total"].count == 1
+
+
+def test_slowest_traces_orders_and_breaks_ties_deterministically():
+    views = [_view(1, total=0.010), _view(2, total=0.030),
+             _view(3, total=0.030), _view(4, total=0.020)]
+    slow = slowest_traces(views, k=3)
+    assert [v.trace_id for v in slow] == [2, 3, 4]
+
+
+def test_format_trace_renders_offsets_and_truncation():
+    view = _view(7, spans=[
+        _span(7, "route", "n0", 0.0, 0.001),
+        _span(7, "log_force", "n0", 0.001, 0.004, truncated=True)])
+    text = format_trace(view)
+    assert "trace 7 · write" in text
+    assert "route" in text and "log_force" in text
+    assert "✂" in text and "[truncated spans]" in text
+
+
+def test_format_phase_table_contains_shares():
+    views = [_view(1, total=0.010,
+                   spans=[_span(1, "route", "n0", 0.0, 0.005)])]
+    table = format_phase_table(phase_summary(views))
+    assert "write: n=1" in table
+    assert "route" in table and "50.0%" in table

@@ -1,0 +1,142 @@
+"""Unit tests for the request tracer primitives (repro.obs.trace)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.trace import (NullRequestTracer, RequestTracer, Span,
+                             SpanStore, TraceContext)
+from repro.sim.rng import RngRegistry
+
+
+def _bound_tracer(**kwargs):
+    tracer = RequestTracer(**kwargs)
+    tracer.bind(SimpleNamespace(now=0.0), RngRegistry(7))
+    return tracer
+
+
+class TestSpan:
+    def test_open_then_finished(self):
+        tracer = _bound_tracer()
+        ctx = tracer.begin("write", "client")
+        span = tracer.start(ctx, "log_force", "node0")
+        assert span.end is None
+        tracer.sim.now = 0.005
+        tracer.finish(span)
+        assert span.duration == pytest.approx(0.005)
+        assert tracer.store("node0").spans() == [span]
+
+    def test_finish_is_idempotent(self):
+        tracer = _bound_tracer()
+        ctx = tracer.begin("write", "client")
+        span = tracer.start(ctx, "log_force", "node0")
+        tracer.sim.now = 0.003
+        tracer.finish(span)
+        tracer.sim.now = 0.009
+        tracer.finish(span)          # second close must not move the end
+        tracer.truncate(span)        # nor may truncation reopen it
+        assert span.end == pytest.approx(0.003)
+        assert not span.truncated
+        assert len(tracer.store("node0")) == 1
+
+    def test_span_at_records_closed_interval(self):
+        tracer = _bound_tracer()
+        ctx = tracer.begin("write", "client")
+        tracer.sim.now = 0.010
+        span = tracer.span_at(ctx, "route", "node1", start=0.002)
+        assert span.start == pytest.approx(0.002)
+        assert span.end == pytest.approx(0.010)
+        assert tracer.open_spans("node1") == []
+
+
+class TestTruncation:
+    def test_truncate_node_closes_open_spans(self):
+        tracer = _bound_tracer()
+        ctx = tracer.begin("write", "client")
+        a = tracer.start(ctx, "propose", "node0")
+        b = tracer.start(ctx, "log_force", "node0")
+        other = tracer.start(ctx, "replicate_rtt", "node1")
+        tracer.sim.now = 0.004
+        closed = tracer.truncate_node("node0")
+        assert closed == 2
+        assert a.truncated and b.truncated
+        assert a.end == pytest.approx(0.004)
+        assert other.end is None          # other nodes untouched
+        # the root span (on the client) is untouched too
+        assert ctx.root.end is None
+
+    def test_truncate_node_without_spans_is_noop(self):
+        tracer = _bound_tracer()
+        assert tracer.truncate_node("nodeX") == 0
+
+
+class TestSampling:
+    def test_sample_every_one_traces_everything(self):
+        tracer = _bound_tracer()
+        assert all(tracer.begin("write", "c") is not None
+                   for _ in range(20))
+        assert tracer.sampled == 20 and tracer.skipped == 0
+
+    def test_sampling_is_deterministic_across_runs(self):
+        def decisions():
+            tracer = RequestTracer(sample_every=4)
+            tracer.bind(SimpleNamespace(now=0.0), RngRegistry(5))
+            return [tracer.begin("write", "c") is not None
+                    for _ in range(200)]
+
+        first, second = decisions(), decisions()
+        assert first == second
+        assert 20 < sum(first) < 80    # roughly 1-in-4
+
+    def test_sampler_stream_is_isolated(self):
+        # Drawing trace decisions must not perturb other named streams.
+        reg = RngRegistry(5)
+        baseline = [RngRegistry(5).stream("node:x").random()
+                    for _ in range(1)]
+        tracer = RequestTracer(sample_every=2)
+        tracer.bind(SimpleNamespace(now=0.0), reg)
+        for _ in range(50):
+            tracer.begin("write", "c")
+        assert reg.stream("node:x").random() == baseline[0]
+
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RequestTracer(sample_every=0)
+
+
+class TestSpanStore:
+    def test_bounded_with_drop_counter(self):
+        store = SpanStore(max_spans=3)
+        spans = [Span(0, i, None, "x", "n", float(i)) for i in range(5)]
+        for span in spans:
+            store.add(span)
+        assert len(store) == 3
+        assert store.dropped == 2
+        assert store.spans() == spans[2:]
+
+    def test_filter_by_trace_id(self):
+        store = SpanStore()
+        a = Span(1, 0, None, "x", "n", 0.0)
+        b = Span(2, 1, None, "x", "n", 0.0)
+        store.add(a)
+        store.add(b)
+        assert store.spans(trace_id=2) == [b]
+
+
+class TestNullTracer:
+    def test_begin_returns_none(self):
+        tracer = NullRequestTracer()
+        assert not tracer.enabled
+        assert tracer.begin("write", "c") is None
+        assert tracer.truncate_node("n") == 0
+        assert tracer.spans() == []
+        assert tracer.stores() == {}
+
+    def test_context_rendezvous_fields(self):
+        tracer = _bound_tracer()
+        ctx = tracer.begin("write", "client")
+        assert isinstance(ctx, TraceContext)
+        assert ctx.last_sent_at is None and ctx.server_done_at is None
+        ctx.last_sent_at = 1.5
+        ctx.server_done_at = 2.5
+        assert (ctx.last_sent_at, ctx.server_done_at) == (1.5, 2.5)

@@ -1,0 +1,71 @@
+"""CI docs gate: the README and top-level markdown stay in sync with
+the tree.
+
+Three checks, each tied to a drift that has actually happened in repos
+like this one: a new package that never makes it into the architecture
+map, a new CLI subcommand missing from the reference table, and a
+renamed file leaving dangling markdown links.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+README = REPO / "README.md"
+
+
+def _packages():
+    """Every package directory under src/repro (has an __init__.py)."""
+    return sorted(p.name for p in SRC.iterdir()
+                  if p.is_dir() and (p / "__init__.py").exists())
+
+
+def _subcommands():
+    """Every subcommand dispatched by src/repro/__main__.py."""
+    source = (SRC / "__main__.py").read_text()
+    commands = re.findall(r'command == "(\w+)"', source)
+    assert commands, "no subcommands parsed from __main__.py"
+    return sorted(set(commands))
+
+
+def test_every_package_is_in_the_readme_architecture_map():
+    readme = README.read_text()
+    section = readme.split("## Architecture", 1)[1].split("\n## ", 1)[0]
+    missing = [name for name in _packages()
+               if f"`{name}/`" not in section]
+    assert not missing, (
+        f"packages missing from README.md's Architecture section "
+        f"(add a `{missing[0]}/` paragraph): {missing}")
+
+
+def test_every_cli_subcommand_is_in_the_readme_cli_table():
+    readme = README.read_text()
+    section = readme.split("## CLI reference", 1)[1].split("\n## ", 1)[0]
+    missing = [cmd for cmd in _subcommands()
+               if f"python -m repro {cmd}" not in section]
+    assert not missing, (
+        f"subcommands missing from README.md's CLI reference table: "
+        f"{missing}")
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _intra_repo_links(path: Path):
+    for match in _LINK.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def test_intra_repo_markdown_links_resolve():
+    broken = []
+    for doc in sorted(REPO.glob("*.md")):
+        for target in _intra_repo_links(doc):
+            if not target:
+                continue
+            if not (doc.parent / target).exists():
+                broken.append(f"{doc.name}: {target}")
+    assert not broken, f"dangling markdown links: {broken}"
