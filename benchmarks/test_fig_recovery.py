@@ -1,0 +1,24 @@
+"""Recovery ramp (beyond the paper, §6.1): rejoin time for a follower
+that missed a fixed-size write gap, measured after 1x and 10x total
+history.
+
+Regenerates the experiment via
+:func:`repro.bench.experiments.fig_recovery`, prints the measured
+rejoin times and WAL footprints, and asserts the shape checks: rejoin
+bounded by the gap (not the history), WAL record and marker counts
+bounded as the history grows 10x, and a clean, converged fig11-elastic
+join ramp at both histories.
+"""
+
+from repro.bench.experiments import fig_recovery
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig_recovery(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig_recovery(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -29,7 +29,7 @@ __all__ = [
     "ExperimentResult",
     "fig8_read_latency", "fig9_write_latency", "table1_recovery",
     "fig11_scaling", "fig11_elastic", "fig12_mixed", "fig13_ssd",
-    "fig14_conditional_put",
+    "fig14_conditional_put", "fig_recovery",
     "fig15_weak_writes", "fig16_memory_log",
     "ablation_parallel_propose", "ablation_group_commit",
     "ablation_piggyback_commits", "ablation_skewed_reads",
@@ -868,6 +868,190 @@ def fig11_elastic(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# Recovery ramp: rejoin time bounded by gap size, not history length
+# ---------------------------------------------------------------------------
+
+def _recovery_config() -> SpinnakerConfig:
+    """Tiny flush threshold and chunk budget: even short histories roll
+    the log into many small SSTables, so rejoin exercises the chunked
+    snapshot catch-up path rather than plain log replay."""
+    return SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
+                           commit_period=0.1,
+                           flush_threshold_bytes=6_000,
+                           catchup_chunk_bytes=8_192)
+
+
+def _measure_rejoin(seed: int, history_rounds: int,
+                    gap_rounds: int) -> Dict[str, object]:
+    """Crash a follower, write a fixed-size gap, restart it, and time
+    the rejoin.  ``history_rounds`` of healthy traffic precede the
+    crash: the 1x/10x knob that must *not* show up in the rejoin time."""
+    from ..core import Role
+    cluster = SpinnakerCluster(n_nodes=3, config=_recovery_config(),
+                               seed=seed)
+    cluster.start()
+    sim = cluster.sim
+    # Enough distinct keys that one round exceeds the flush threshold
+    # (the memtable counts live cells, so overwrites don't accumulate).
+    keys = _keys_in_cohort(cluster, 0, 30, b"fr-")
+    client = cluster.client("fr-writer")
+
+    def burst(rounds: int, tag: bytes):
+        for r in range(rounds):
+            for key in keys:
+                yield from client.put(key, b"c",
+                                      tag + b"-%d" % r + b"x" * 200)
+
+    proc = spawn(sim, burst(history_rounds, b"hist"), name="fr-history")
+    cluster.run_until(lambda: proc.triggered, limit=600.0,
+                      what="fig-recovery history")
+    proc.result()
+
+    # The victim misses a fixed-size gap — identical at both histories.
+    leader = cluster.leader_of(0)
+    victim = next(m for m in cluster.partitioner.cohort(0).members
+                  if m != leader)
+    cluster.crash_node(victim)
+    cluster.expire_session_of(victim)
+    proc = spawn(sim, burst(gap_rounds, b"gap"), name="fr-gap")
+    cluster.run_until(lambda: proc.triggered, limit=600.0,
+                      what="fig-recovery gap writes")
+    proc.result()
+
+    leader_node = cluster.nodes[cluster.leader_of(0)]
+    leader_records = len(leader_node.wal.write_records(0))
+    leader_markers = leader_node.wal.marker_count()
+    target_cmt = cluster.replica(cluster.leader_of(0), 0).committed_lsn
+
+    t0 = sim.now
+    cluster.restart_node(victim)
+    replica = cluster.replica(victim, 0)
+    cluster.run_until(
+        lambda: (replica.role == Role.FOLLOWER
+                 and replica.committed_lsn >= target_cmt),
+        limit=300.0, step=0.005, what="fig-recovery rejoin")
+    return {
+        "history_rounds": history_rounds,
+        "gap_rounds": gap_rounds,
+        "rejoin_s": round(sim.now - t0, 4),
+        "chunks": replica.catchup_chunks_ingested,
+        "tables": replica.catchup_tables_ingested,
+        "leader_wal_records": leader_records,
+        "leader_wal_markers": leader_markers,
+        "failures": len(cluster.all_failures()),
+    }
+
+
+def _measure_elastic_ramp(seed: int,
+                          history_rounds: int) -> Dict[str, object]:
+    """One audited fig11-elastic-style join after ``history_rounds`` of
+    history: the split joiner is repaired through the same chunked
+    snapshot-install path, so the move time must track the live data
+    size, not the history length."""
+    cluster = SpinnakerCluster(n_nodes=3, config=_recovery_config(),
+                               seed=seed)
+    cluster.start()
+    sim = cluster.sim
+    keys = _keys_in_cohort(cluster, 0, 30, b"fr-")
+    client = cluster.client("fr-elastic")
+
+    def burst():
+        for r in range(history_rounds):
+            for key in keys:
+                yield from client.put(key, b"c",
+                                      b"e-%d" % r + b"x" * 200)
+
+    proc = spawn(sim, burst(), name="fr-elastic-history")
+    cluster.run_until(lambda: proc.triggered, limit=600.0,
+                      what="fig-recovery elastic history")
+    proc.result()
+
+    auditor = InvariantAuditor(cluster)
+    audit = spawn(sim, auditor.run(period=0.25))
+    cluster.add_node("node3")
+    plans = plan_join(cluster.partitioner, ["node3"],
+                      heat={c.cohort_id: (100.0 if c.cohort_id == 0
+                                          else 1.0)
+                            for c in cluster.partitioner.cohorts})
+    reb = Rebalancer(cluster)
+    t0 = sim.now
+    move = spawn(sim, reb.execute(plans, move_timeout=240.0))
+    cluster.run_until(lambda: move.triggered, limit=300.0,
+                      what="fig-recovery elastic move")
+    move.result()
+    move_s = sim.now - t0
+    cluster.run(1.0)
+    audit.interrupt("done")
+    auditor.final_audit()
+    return {"history_rounds": history_rounds,
+            "move_s": round(move_s, 4),
+            "converged": bool(reb.done),
+            "violations": len(auditor.violations)}
+
+
+def fig_recovery(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Beyond the paper: crash-resumable snapshot catch-up (§6.1 plus
+    the chunked-transfer extension).
+
+    A follower misses a *fixed-size* write gap after 1x and after 10x
+    total history.  Snapshot manifests bound the leader's log and marker
+    list, and chunked catch-up ships only gap-covering tables, so the
+    rejoin time must track the gap, not the history.  An elastic coda
+    replays the fig11-elastic join ramp at both histories through the
+    same snapshot-install path.
+    """
+    base = max(2, int(round(8 * scale)))
+    gap = max(2, int(round(6 * scale)))
+    result = ExperimentResult(
+        "fig-recovery",
+        "Rejoin time vs history length (fixed catch-up gap)")
+
+    rows = []
+    for label, rounds in (("1x", base), ("10x", 10 * base)):
+        row = _measure_rejoin(seed, rounds, gap)
+        row["history"] = label
+        rows.append(row)
+    result.series["rejoin"] = rows
+    r1, r10 = rows
+    result.checks["no_handler_failures"] = all(
+        r["failures"] == 0 for r in rows)
+    # Rejoin at 10x history must be bounded by the (identical) gap; 3x
+    # plus scheduling slack is far below what a history-proportional
+    # catch-up would show.
+    result.checks["rejoin_bounded_by_gap"] = (
+        r10["rejoin_s"] <= 3.0 * r1["rejoin_s"] + 0.5)
+    # Retention keyed off the manifest horizon keeps the leader's log
+    # and marker list bounded as the history grows 10x.
+    result.checks["wal_records_bounded"] = (
+        r10["leader_wal_records"]
+        <= 3 * max(r1["leader_wal_records"], 1) + 64)
+    result.checks["wal_markers_bounded"] = (
+        r10["leader_wal_markers"]
+        <= 3 * max(r1["leader_wal_markers"], 1) + 64)
+
+    ramps = []
+    for label, rounds in (("1x", base), ("10x", 10 * base)):
+        ramp = _measure_elastic_ramp(seed + 7, rounds)
+        ramp["history"] = label
+        ramps.append(ramp)
+    result.series["elastic-ramp"] = ramps
+    e1, e10 = ramps
+    result.checks["elastic_ramp_clean"] = all(
+        r["converged"] and r["violations"] == 0 for r in ramps)
+    result.checks["elastic_ramp_bounded"] = (
+        e10["move_s"] <= 3.0 * e1["move_s"] + 0.5)
+    result.notes = (
+        f"gap={gap} rounds; rejoin 1x={r1['rejoin_s']:.3f}s "
+        f"10x={r10['rejoin_s']:.3f}s "
+        f"(ratio {r10['rejoin_s'] / r1['rejoin_s'] if r1['rejoin_s'] else 0.0:.2f}x); "
+        f"leader WAL records 1x={r1['leader_wal_records']} "
+        f"10x={r10['leader_wal_records']}, markers "
+        f"1x={r1['leader_wal_markers']} 10x={r10['leader_wal_markers']}; "
+        f"elastic move 1x={e1['move_s']:.2f}s 10x={e10['move_s']:.2f}s")
+    return result
+
+
 #: registry used by the CLI report and the benchmark suite
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8_read_latency,
@@ -875,6 +1059,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1_recovery,
     "fig11": fig11_scaling,
     "fig11-elastic": fig11_elastic,
+    "fig-recovery": fig_recovery,
     "fig12": fig12_mixed,
     "fig13": fig13_ssd,
     "fig14": fig14_conditional_put,

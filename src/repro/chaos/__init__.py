@@ -16,6 +16,8 @@ on the deterministic simulation kernel — so ``python -m repro chaos
 --seed N`` twice prints byte-identical fault logs and audit reports.
 """
 
+from .catchup import (CATCHUP_SCENARIOS, CatchupChaosResult,
+                      run_catchup_chaos)
 from .invariants import InvariantAuditor, InvariantViolation
 from .nemesis import (ChaosConfig, ChaosReport, FaultEvent,
                       generate_schedule, replay_schedule, run_chaos)
@@ -24,6 +26,7 @@ from .shrinker import ddmin, format_regression_test, shrink_run
 __all__ = [
     "ChaosConfig", "ChaosReport", "FaultEvent",
     "generate_schedule", "run_chaos", "replay_schedule",
+    "CATCHUP_SCENARIOS", "CatchupChaosResult", "run_catchup_chaos",
     "InvariantAuditor", "InvariantViolation",
     "ddmin", "shrink_run", "format_regression_test",
 ]

@@ -93,6 +93,21 @@ class SpinnakerConfig:
     catchup_rpc_timeout: float = 5.0
     takeover_state_timeout: float = 1.0
 
+    # -- chunked catch-up (§6.1; see PROTOCOL.md) -----------------------
+    #: soft byte budget per CatchupChunk (records + shipped SSTables);
+    #: at least one record or table is always shipped to guarantee
+    #: progress even when a single item exceeds the budget
+    catchup_chunk_bytes: int = 256 * 1024
+    #: per-chunk RPC timeout (replaces the one-shot catchup_rpc_timeout
+    #: on the chunked path; the final write-blocked delta still uses
+    #: catchup_rpc_timeout)
+    catchup_chunk_timeout: float = 2.0
+    #: retries per chunk before the catch-up attempt is abandoned and
+    #: the caller's outer retry loop (leader_monitor / rebalance) kicks in
+    catchup_chunk_retries: int = 3
+    #: base backoff between chunk retries (doubles per attempt)
+    catchup_retry_backoff: float = 0.1
+
     # -- client ---------------------------------------------------------
     client_op_timeout: float = 10.0
     client_max_retries: int = 8
@@ -111,6 +126,14 @@ class SpinnakerConfig:
             raise ValueError("propose_batch_max_bytes must be >= 1")
         if self.propose_batch_window <= 0:
             raise ValueError("propose_batch_window must be positive")
+        if self.catchup_chunk_bytes < 1:
+            raise ValueError("catchup_chunk_bytes must be >= 1")
+        if self.catchup_chunk_timeout <= 0:
+            raise ValueError("catchup_chunk_timeout must be positive")
+        if self.catchup_chunk_retries < 0:
+            raise ValueError("catchup_chunk_retries must be >= 0")
+        if self.catchup_retry_backoff < 0:
+            raise ValueError("catchup_retry_backoff must be >= 0")
         return self
 
     @property

@@ -34,11 +34,11 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..coord.znode import CoordError
+from ..sim.events import SimulationError
 from ..sim.network import RpcTimeout
 from ..sim.process import timeout
 from .election import cohort_zk_path
-from .messages import TakeoverState
-from .recovery import build_catchup_reply
+from .recovery import push_catchup
 
 __all__ = ["transfer_leadership", "plan_rebalance"]
 
@@ -64,28 +64,12 @@ def transfer_leadership(replica, successor: str):
             yield timeout(node.sim, 0.002)
             if not replica.is_leader:
                 return False
-        # 2. Verify the successor is caught up to l.cmt; top it up if not.
+        # 2. Verify the successor is caught up to l.cmt; top it up if
+        #    not (chunked push — same path as takeover and rebalance).
         try:
-            state = yield node.endpoint.request(
-                successor,
-                TakeoverState(cohort_id=replica.cohort_id,
-                              epoch=replica.epoch),
-                size=64, timeout=cfg.takeover_state_timeout)
-        except RpcTimeout:
+            yield from push_catchup(replica, successor)
+        except (RpcTimeout, SimulationError):
             return False
-        if not isinstance(state, dict) or "cmt" not in state:
-            return False
-        if state["cmt"] < replica.committed_lsn:
-            reply = build_catchup_reply(replica, state["cmt"])
-            try:
-                done = yield node.endpoint.request(
-                    successor, reply,
-                    size=sum(r.encoded_size() for r in reply.records) + 128,
-                    timeout=cfg.catchup_rpc_timeout)
-            except RpcTimeout:
-                return False
-            if done != "caught-up":
-                return False
         # 3. Name the successor.  From here on we bounce writes with the
         #    new hint; the successor's monitor sees the change and runs
         #    the takeover path under a fresh epoch.

@@ -2,7 +2,7 @@
 
 Client-facing messages (``ClientGet``/``ClientWrite``) and the replication
 protocol messages of Fig. 4 (``Propose``/``Ack``/``Commit``) plus the
-recovery traffic of §6 (``CatchupRequest``/``CatchupReply``).  All are
+recovery traffic of §6 (``CatchupRequest``/``CatchupChunk``).  All are
 plain frozen dataclasses; the network layer delivers object references,
 so immutability matters.
 """
@@ -20,7 +20,7 @@ __all__ = [
     "ClientGet", "ClientScan", "ClientWrite", "ClientMultiWrite",
     "ClientTransaction", "TxnOp",
     "Propose", "Ack", "Commit",
-    "CatchupRequest", "CatchupReply", "CatchupFinal", "TakeoverState",
+    "CatchupRequest", "CatchupChunk", "CatchupFinal", "TakeoverState",
     "SSTableShipment",
     "WhoIsLeader", "GetCohortMap",
     "MigrationStart", "MigrationPrepare",
@@ -156,45 +156,74 @@ class Commit:
 
 @dataclass(frozen=True)
 class CatchupRequest:
-    """Follower → leader: "my last committed LSN is f.cmt" (§6.1);
-    also sent leader → follower during takeover (Fig. 6, line 4) with
-    ``from_takeover`` set, asking the follower to advertise its f.cmt."""
+    """Follower → leader: one page of the chunked catch-up (§6.1).
+
+    ``floor`` is the follower's durable catch-up floor (state at or
+    below it is already installed from shipped SSTables); ``seen`` is
+    the volatile paging token — the max ``max_lsn`` of tables received
+    so far from the generation named by ``source``.  The leader ships
+    the next chunk after ``seen`` when ``source`` matches its own
+    ``(leader, manifest_id)`` generation, and otherwise restarts paging
+    from ``floor`` — so a leader change or a flush/compaction under an
+    in-flight catch-up never replays a stale token, and nothing below
+    the durable floor is ever re-shipped.
+    """
 
     cohort_id: int
     follower: str
     follower_cmt: LSN
+    floor: LSN = LSN.zero()
+    seen: LSN = LSN.zero()
+    source: Optional[Tuple[str, int]] = None
+    max_bytes: int = 0        # 0 = leader's configured chunk budget
 
 
 @dataclass(frozen=True)
-class CatchupReply:
-    """Leader → follower: committed writes after f.cmt.
+class CatchupChunk:
+    """Leader → follower: one bounded page of committed state.
 
-    ``valid_lsns`` lists every live LSN in (f.cmt, l.lst] in the leader's
-    log: any record the follower holds in that interval that is *not*
-    listed was discarded by a leader change and must be logically
-    truncated into the skipped-LSN list (§6.1.1).  ``sstables`` carries
-    shipped tables when the leader's log rolled over (§6.1).
+    ``sstables`` carries the next slice of the leader's snapshot
+    manifest (ascending ``(max_lsn, min_lsn, table_id)`` order) when the
+    log rolled past the follower; ``floor`` is the new **safe floor**
+    the follower may durably advance to after installing them — every
+    surviving cell at or below it is contained in shipped tables, even
+    with overlapping compacted tables still unshipped.  ``snapshot_seen``
+    is the next paging token, valid only for ``source``.
+
+    ``valid_lsns`` lists every live LSN in (valid_after, valid_upto] in
+    the leader's log: any record the follower holds in that window that
+    is *not* listed was discarded by a leader change and must be
+    logically truncated into the skipped-LSN list (§6.1.1).  Windowing
+    the truncation per chunk keeps it sound under paging — LSNs above
+    ``valid_upto`` are judged by later chunks.
+
+    ``more`` announces further chunks; the follower keeps requesting
+    until it clears.
     """
 
     cohort_id: int
     epoch: int
     committed_lsn: LSN
     leader_lst: LSN
+    source: Tuple[str, int]
+    sstables: Tuple
+    snapshot_seen: LSN
+    floor: LSN
     records: Tuple[WriteRecord, ...]
     valid_lsns: Tuple[LSN, ...]
-    #: ``valid_lsns`` covers only (valid_after, leader_lst]: when the
-    #: leader's log rolled over, records at or below this horizon are
-    #: covered by the shipped SSTables and must NOT be truncated just
-    #: because they are absent from ``valid_lsns``.
-    valid_after: LSN = LSN.zero()
-    sstables: Tuple = ()
+    valid_after: LSN
+    valid_upto: LSN
+    more: bool
 
 
 @dataclass(frozen=True)
 class CatchupFinal:
     """Follower → leader, second catch-up phase: "I am caught up to
-    ``follower_cmt``; block writes momentarily and hand me the final
-    delta plus your pending (uncommitted) writes" (§6.1)."""
+    ``follower_cmt``; block writes momentarily and hand me the **last
+    delta only** plus your pending (uncommitted) writes" (§6.1).  The
+    leader answers ``behind`` instead if its log rolled past
+    ``follower_cmt``, sending the follower back to the chunk phase, so
+    the write-blocked window never ships bulk state."""
 
     cohort_id: int
     follower: str
@@ -211,7 +240,7 @@ class TakeoverState:
 
 @dataclass(frozen=True)
 class SSTableShipment:  # lint: allow(dead-message) — reserved; shipped
-    # tables currently ride inside CatchupReply.sstables (§6.1)
+    # tables currently ride inside CatchupChunk.sstables (§6.1)
     cohort_id: int
     tables: Tuple
 

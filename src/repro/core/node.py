@@ -15,6 +15,7 @@ recovery and rejoins its cohorts through the §6 protocols.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional
 
 from ..coord.client import CoordClient
@@ -27,11 +28,12 @@ from ..sim.resources import Resource, serve
 from ..sim.rng import RngRegistry
 from ..storage.engine import StorageEngine
 from ..storage.lsn import LSN
-from ..storage.records import CheckpointRecord, CommitMarker
+from ..storage.records import (CatchupMarker, CheckpointRecord,
+                               CommitMarker)
 from ..storage.wal import SharedLog
 from .config import SpinnakerConfig
 from .election import cohort_zk_path, leader_monitor
-from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
+from .messages import (Ack, CatchupChunk, CatchupFinal, CatchupRequest,
                        ClientGet, ClientMultiWrite, ClientScan,
                        ClientTransaction, ClientWrite, Commit, GetCohortMap,
                        MigrationPrepare, MigrationStart, Propose,
@@ -39,7 +41,8 @@ from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
 from .partition import Cohort, RangePartitioner
 from .rebalance import (apply_membership_record, build_split_snapshot,
                         handle_migration_start)
-from .recovery import build_catchup_reply, ingest_catchup, local_recovery
+from .recovery import (build_catchup_chunk, chunk_wire_size,
+                       ingest_catchup, local_recovery)
 from .replication import CohortReplica, Role
 
 __all__ = ["SpinnakerNode"]
@@ -88,6 +91,10 @@ class SpinnakerNode:
         #: failures of handler processes that were NOT deliberate kills —
         #: tests assert this stays empty (protocol bugs surface here)
         self.failures: List[BaseException] = []
+        #: ledger of catch-up chunks this node served as leader; chaos
+        #: schedules assert resume behaviour (nothing re-shipped below a
+        #: restarted follower's durable floor)
+        self.catchup_served: deque = deque(maxlen=256)
 
     # ------------------------------------------------------------------
     # Process supervision
@@ -202,10 +209,15 @@ class SpinnakerNode:
         if table is not None:
             replica.engine.ingest_sstable(table)
         self.wal.gc_through(cohort.cohort_id, horizon)
-        # Best-effort restart hint; if lost, catch-up re-ships the tables.
+        # Best-effort restart hints; if lost, catch-up re-ships the
+        # tables.  The catch-up marker lets a restart resume from the
+        # seeded horizon instead of re-installing the snapshot.
         self.wal.append(CommitMarker(lsn=horizon,
                                      cohort_id=cohort.cohort_id,
                                      committed_lsn=horizon), force=False)
+        self.wal.append(CatchupMarker(lsn=horizon,
+                                      cohort_id=cohort.cohort_id,
+                                      floor=horizon), force=False)
         replica.committed_lsn = horizon
         replica.epoch = horizon.epoch
         replica.next_seq = horizon.seq + 1
@@ -472,14 +484,16 @@ class SpinnakerNode:
         elif isinstance(payload, CatchupFinal):
             self.spawn(self._handle_catchup_final(req, replica),
                        "catchup-final")
-        elif isinstance(payload, CatchupReply):
-            # Takeover-driven catch-up: the new leader pushes state.
+        elif isinstance(payload, CatchupChunk):
+            # Push-driven catch-up: a leader (takeover, rebalance, or
+            # handoff) ships us chunks.
             self.spawn(self._handle_takeover_catchup(req, replica),
                        "takeover-catchup")
         elif isinstance(payload, TakeoverState):
             if payload.epoch >= replica.epoch:
                 replica.epoch = payload.epoch
-            req.respond({"cmt": replica.committed_lsn}, size=64)
+            req.respond({"cmt": replica.committed_lsn,
+                         "floor": replica.catchup_floor}, size=64)
         elif isinstance(payload, WhoIsLeader):
             req.respond({"leader": replica.leader}, size=64)
 
@@ -518,40 +532,51 @@ class SpinnakerNode:
             req.respond({"ok": False, "code": "not-leader",
                          "hint": replica.leader}, size=64)
             return
-        reply = build_catchup_reply(replica, req.payload.follower_cmt)
-        size = sum(r.encoded_size() for r in reply.records) + 128
-        size += sum(t.bytes_size for t in reply.sstables)
-        req.respond(reply, size=size)
+        chunk = build_catchup_chunk(replica, req.payload)
+        req.respond(chunk, size=chunk_wire_size(chunk))
 
     def _handle_catchup_final(self, req: Request, replica: CohortReplica):
         """Phase B: momentarily block writes so the follower ends fully
-        caught up (§6.1), and hand over pending writes for acking."""
+        caught up (§6.1), and hand over pending writes for acking.  Only
+        the *last delta* is shipped here — a follower whose progress the
+        log has rolled past is sent back to unblocked chunking."""
         if not replica.is_leader:
             req.respond({"ok": False, "code": "not-leader",
                          "hint": replica.leader}, size=64)
             return
+        f_cmt = req.payload.follower_cmt
+        if not self.wal.can_serve_after(replica.cohort_id, f_cmt):
+            # The log rolled past the follower between phases; shipping
+            # bulk snapshot state under blocked writes would stall the
+            # cohort, so redirect to the chunk phase instead.
+            req.respond({"ok": False, "code": "behind"}, size=48)
+            return
         replica.block_writes()
         try:
             yield from serve(self.cpu, self.config.takeover_record_service)
-            reply = build_catchup_reply(replica, req.payload.follower_cmt)
+            final_req = CatchupRequest(
+                cohort_id=replica.cohort_id, follower=req.payload.follower,
+                follower_cmt=f_cmt, max_bytes=1 << 62)
+            chunk = build_catchup_chunk(replica, final_req)
             pending = tuple(replica.queue.pending_records())
-            size = (sum(r.encoded_size() for r in reply.records)
-                    + sum(r.encoded_size() for r in pending) + 128)
-            req.respond({"reply": reply, "pending": pending}, size=size)
+            size = (chunk_wire_size(chunk)
+                    + sum(r.encoded_size() for r in pending))
+            req.respond({"reply": chunk, "pending": pending}, size=size)
         finally:
             replica.unblock_writes()
 
     def _handle_takeover_catchup(self, req: Request,
                                  replica: CohortReplica):
-        reply: CatchupReply = req.payload
-        if reply.epoch < replica.epoch:
+        chunk: CatchupChunk = req.payload
+        if chunk.epoch < replica.epoch:
             req.respond("stale", size=32)
             return
-        yield from ingest_catchup(replica, reply)
+        yield from ingest_catchup(replica, chunk)
         if replica.role in (Role.RECOVERING, Role.CANDIDATE):
             replica.role = Role.FOLLOWER
         replica.set_leader(req.src)
-        req.respond("caught-up", size=32)
+        req.respond({"cmt": replica.committed_lsn,
+                     "floor": replica.catchup_floor}, size=64)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

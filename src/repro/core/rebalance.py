@@ -82,10 +82,10 @@ from ..sim.process import timeout
 from ..storage.memtable import Memtable
 from ..storage.records import WriteRecord
 from ..storage.sstable import SSTable
-from .messages import Commit, MigrationPrepare, MigrationStart, TakeoverState
+from .messages import Commit, MigrationPrepare, MigrationStart
 from .partition import (INTERNAL_KEY_PREFIX, MEMBERSHIP_KEY, Cohort,
                         KeyRange, MembershipChange, RangePartitioner)
-from .recovery import build_catchup_reply
+from .recovery import push_catchup
 from .replication import Role
 
 __all__ = ["MEMBERSHIP_KEY", "membership_record", "is_membership_record",
@@ -316,29 +316,13 @@ def _prepare_joiners(replica, change: MembershipChange,
 
 
 def _push_catchup(replica, joiners: Sequence[str]):
-    """Leader-driven catch-up push (replace moves), reusing the takeover
-    pull protocol: ask the joiner's f.cmt, ship the §6 reply."""
-    node, cfg = replica.node, replica.node.config
+    """Leader-driven catch-up push (replace moves), routed through the
+    same chunked snapshot-install path as leader takeover: progress a
+    joiner makes is durable per chunk and survives retries."""
     for member in joiners:
         try:
-            state = yield node.endpoint.request(
-                member,
-                TakeoverState(cohort_id=replica.cohort_id,
-                              epoch=replica.epoch),
-                size=64, timeout=cfg.takeover_state_timeout)
-        except RpcTimeout:
-            return False
-        if not isinstance(state, dict) or "cmt" not in state:
-            return False
-        reply = build_catchup_reply(replica, state["cmt"])
-        size = 128 + sum(r.encoded_size() for r in reply.records)
-        size += sum(t.bytes_size for t in reply.sstables)
-        try:
-            verdict = yield node.endpoint.request(
-                member, reply, size=size, timeout=cfg.catchup_rpc_timeout)
-        except RpcTimeout:
-            return False
-        if verdict != "caught-up":
+            yield from push_catchup(replica, member)
+        except (RpcTimeout, SimulationError):
             return False
     return True
 

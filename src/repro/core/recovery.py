@@ -1,4 +1,4 @@
-"""Recovery: local replay, follower catch-up, and leader takeover (§6).
+"""Recovery: local replay, chunked follower catch-up, leader takeover (§6).
 
 Three flows live here, all expressed as process generators over a
 :class:`~repro.core.replication.CohortReplica`:
@@ -6,15 +6,33 @@ Three flows live here, all expressed as process generators over a
 * :func:`local_recovery` — after a restart, re-apply log records from the
   checkpoint through f.cmt (idempotently, honouring the skipped-LSN
   list).  Writes after f.cmt are ambiguous and are left to catch-up.
-* :func:`follower_catchup` — the §6.1 catch-up phase, follower-driven:
-  advertise f.cmt, ingest committed writes (or shipped SSTables when the
-  leader's log rolled over), logically truncate discarded records, then a
-  final exchange during which the leader momentarily blocks new writes so
-  the follower ends fully caught up.
-* :func:`leader_takeover` — Fig. 6: catch both followers up to l.cmt,
-  wait for a quorum, re-propose the unresolved writes in (l.cmt, l.lst]
-  through the normal protocol, and open the cohort for writes with LSNs
-  above anything previously used (the epoch was bumped by the election).
+* :func:`follower_catchup` — the §6.1 catch-up phase, follower-driven and
+  **chunked**: page bounded :class:`CatchupChunk` exchanges (snapshot
+  SSTables first, then log records), advancing ``catchup_floor`` /
+  ``committed_lsn`` durably per chunk so a crash mid-install resumes
+  from the last applied chunk, then a final exchange — last delta only —
+  during which the leader momentarily blocks new writes so the follower
+  ends fully caught up.
+* :func:`leader_takeover` — Fig. 6: catch both followers up to l.cmt
+  (via :func:`push_catchup`, the same chunked snapshot-install path used
+  by rebalance replace-moves and leadership handoff), wait for a quorum,
+  re-propose the unresolved writes in (l.cmt, l.lst] through the normal
+  protocol, and open the cohort for writes with LSNs above anything
+  previously used (the epoch was bumped by the election).
+
+Chunk paging safety
+-------------------
+Compacted SSTables overlap in LSN range, so a follower that installed a
+*prefix* of the leader's snapshot manifest may still miss a surviving
+cell at an LSN below the newest shipped table.  The leader therefore
+ships tables ascending by ``(max_lsn, min_lsn, table_id)`` and computes a
+per-chunk **safe floor** — capped at one below the smallest ``min_lsn``
+of any unshipped table — and the follower only advances its durable
+state to that floor.  The volatile paging token (``seen``/``source``)
+names the leader's ``(name, manifest_id)`` generation; when a leader
+change or a flush/compaction invalidates it, paging restarts from the
+durable floor, so nothing below the floor is ever re-shipped and no
+stale token skips a table.
 """
 
 from __future__ import annotations
@@ -23,16 +41,35 @@ from ..sim.events import Event, SimulationError
 from ..sim.network import RpcTimeout
 from ..sim.process import all_of, quorum, spawn, timeout
 from ..sim.resources import serve
-from ..storage.lsn import LSN
-from ..storage.records import CommitMarker
+from ..storage.lsn import LSN, SEQ_BITS
+from ..storage.records import CatchupMarker, CommitMarker
 from .batching import chunk_groups
-from .messages import (Ack, CatchupFinal, CatchupReply, CatchupRequest,
+from .messages import (Ack, CatchupChunk, CatchupFinal, CatchupRequest,
                        Propose, TakeoverState)
 from .partition import MEMBERSHIP_KEY
 from .replication import Role
 
 __all__ = ["local_recovery", "follower_catchup", "leader_takeover",
-           "build_catchup_reply", "ingest_catchup"]
+           "push_catchup", "build_catchup_chunk", "ingest_catchup",
+           "chunk_wire_size"]
+
+_MAX_SEQ = (1 << SEQ_BITS) - 1
+#: "behind" redirects allowed per catch-up attempt before giving the
+#: outer retry loop (leader_monitor / rebalance) a turn.
+_MAX_FINAL_ROUNDS = 4
+
+
+def _prev_lsn(lsn: LSN) -> LSN:
+    """The greatest LSN strictly below ``lsn``.
+
+    Epochs compare first, so ``(e, s-1)`` dominates every LSN of any
+    earlier epoch — a safe exclusive upper bound for "everything below".
+    """
+    if lsn.seq > 0:
+        return LSN(lsn.epoch, lsn.seq - 1)
+    if lsn.epoch > 0:
+        return LSN(lsn.epoch - 1, _MAX_SEQ)
+    return LSN.zero()
 
 
 # ---------------------------------------------------------------------------
@@ -70,156 +107,398 @@ def local_recovery(replica):
 
 
 # ---------------------------------------------------------------------------
-# Catch-up payloads (shared by follower-driven catch-up and takeover)
+# Chunk assembly (leader side)
 # ---------------------------------------------------------------------------
 
-def build_catchup_reply(leader_replica, follower_cmt: LSN) -> CatchupReply:
-    """Assemble the leader's answer to "my last committed LSN is f.cmt"."""
+def chunk_wire_size(chunk: CatchupChunk) -> int:
+    """Honest network size of one chunk: records, tables, and framing."""
+    return (sum(r.encoded_size() for r in chunk.records) + 128
+            + sum(t.bytes_size for t in chunk.sstables))
+
+
+def build_catchup_chunk(leader_replica, req: CatchupRequest) -> CatchupChunk:
+    """Assemble the next bounded catch-up page for one follower.
+
+    Tables first (when the log rolled past the follower's progress),
+    then log records; each page stays near the configured byte budget
+    but always carries at least one item so progress is guaranteed.
+    """
     node = leader_replica.node
     cohort_id = leader_replica.cohort_id
     wal = node.wal
+    engine = leader_replica.engine
+    cfg = node.config
     l_cmt = leader_replica.committed_lsn
     l_lst = wal.last_lsn(cohort_id)
+    budget = req.max_bytes if req.max_bytes > 0 else cfg.catchup_chunk_bytes
+    progress = max(req.follower_cmt, req.floor)
+    source = (node.name, engine.manifest_id)
+    # The floor only moves when shipped SSTables cover the gap (snapshot
+    # branch below): it marks LSNs that may be absent from the
+    # follower's *log*.  Serving from the log never raises it.
+    floor = req.floor
+    # A paging token is only meaningful within the generation it was
+    # issued for; otherwise restart paging from the durable progress.
+    seen = req.seen if req.source == source else progress
+    if seen < progress:
+        seen = progress
+
     sstables = ()
-    valid_after = follower_cmt
-    if not wal.can_serve_after(cohort_id, follower_cmt):
-        # The log rolled past f.cmt: ship SSTables for the gap (§6.1).
-        # Log records (and hence valid_lsns) then only cover the range
-        # the leader's log retains.
-        sstables = tuple(
-            leader_replica.engine.sstables_with_writes_after(follower_cmt))
-        valid_after = max(follower_cmt,
-                          leader_replica.engine.checkpoint_lsn)
-    records = tuple(wal.write_records(cohort_id, after=follower_cmt,
-                                      upto=l_cmt))
-    valid = tuple(r.lsn for r in wal.write_records(cohort_id,
-                                                   after=follower_cmt))
-    return CatchupReply(cohort_id=cohort_id, epoch=leader_replica.epoch,
-                        committed_lsn=l_cmt, leader_lst=l_lst,
-                        records=records, valid_lsns=valid,
-                        valid_after=valid_after, sstables=sstables)
+    used = 0
+    snapshot_done = True
+    if not wal.can_serve_after(cohort_id, progress):
+        manifest = engine.manifest()
+        horizon = max(progress, manifest.checkpoint_lsn)
+        candidates = [t for t in manifest.sstables if t.max_lsn > seen]
+        shipped = []
+        for table in candidates:
+            if (shipped and used + table.bytes_size > budget
+                    and table.max_lsn != shipped[-1].max_lsn):
+                # Budget exhausted — but tables tied on max_lsn ride in
+                # the same page, keeping the exclusive token sound.
+                break
+            shipped.append(table)
+            used += table.bytes_size
+        unshipped = candidates[len(shipped):]
+        sstables = tuple(shipped)
+        if shipped:
+            seen = shipped[-1].max_lsn
+        if unshipped:
+            snapshot_done = False
+            # Safe floor: a surviving cell below the smallest unshipped
+            # min_lsn must live in an already-shipped table.
+            next_min = min(t.min_lsn for t in unshipped)
+            floor = max(progress, min(seen, _prev_lsn(next_min)))
+        else:
+            # Snapshot portion exhausted: the floor jumps to the
+            # manifest horizon; the remaining gap comes from the log.
+            floor = max(progress, horizon)
+            seen = max(seen, floor)
+
+    if snapshot_done:
+        base = max(progress, floor)
+        gap = wal.write_records(cohort_id, after=base, upto=l_cmt)
+        records = []
+        for record in gap:
+            if records and used + record.encoded_size() > budget:
+                break
+            records.append(record)
+            used += record.encoded_size()
+        more = len(records) < len(gap)
+        if more:
+            valid_upto = records[-1].lsn
+            valid = tuple(r.lsn for r in records)
+        else:
+            # Final page: the truncation window stretches to l.lst so
+            # the follower can skip-list records the leader discarded.
+            valid_upto = l_lst
+            valid = tuple(r.lsn for r in wal.write_records(cohort_id,
+                                                           after=base))
+        chunk = CatchupChunk(cohort_id=cohort_id,
+                             epoch=leader_replica.epoch,
+                             committed_lsn=l_cmt, leader_lst=l_lst,
+                             source=source, sstables=sstables,
+                             snapshot_seen=seen, floor=floor,
+                             records=tuple(records), valid_lsns=valid,
+                             valid_after=base, valid_upto=valid_upto,
+                             more=more)
+    else:
+        chunk = CatchupChunk(cohort_id=cohort_id,
+                             epoch=leader_replica.epoch,
+                             committed_lsn=l_cmt, leader_lst=l_lst,
+                             source=source, sstables=sstables,
+                             snapshot_seen=seen, floor=floor,
+                             records=(), valid_lsns=(),
+                             valid_after=floor, valid_upto=floor,
+                             more=True)
+    # Served-chunk ledger: chaos schedules verify resume behaviour (no
+    # table shipped at or below the follower's resume floor).
+    node.catchup_served.append({
+        "t": node.sim.now, "cohort": cohort_id, "follower": req.follower,
+        "req_floor": progress, "req_seen": req.seen,
+        "source": source, "floor": chunk.floor,
+        "table_max_lsns": tuple(t.max_lsn for t in chunk.sstables),
+        "records": len(chunk.records), "more": chunk.more,
+    })
+    return chunk
 
 
-def ingest_catchup(replica, reply: CatchupReply):
-    """Apply a catch-up payload at the follower.  ``yield from`` me.
+# ---------------------------------------------------------------------------
+# Chunk ingestion (follower side)
+# ---------------------------------------------------------------------------
 
-    Ingests shipped SSTables, logically truncates local records the
-    leader does not have (skipped-LSN list, §6.1.1), appends + forces
-    missing committed records, applies them, and advances f.cmt.
+def ingest_catchup(replica, chunk: CatchupChunk):
+    """Apply one catch-up chunk at the follower.  ``yield from`` me.
+
+    Ingests the shipped snapshot slice, logically truncates local
+    records the leader discarded (skipped-LSN list, §6.1.1 — windowed to
+    this chunk's ``(valid_after, valid_upto]``), appends + forces missing
+    committed records, applies them, and advances ``catchup_floor`` /
+    f.cmt **durably** — a forced :class:`CatchupMarker` is the per-chunk
+    durability point, so a crash mid-install resumes from this chunk.
     """
     node = replica.node
     wal = node.wal
     cohort_id = replica.cohort_id
-    if reply.epoch > replica.epoch:
-        replica.epoch = reply.epoch
-    # 1. Logical truncation: records we hold above f.cmt that the leader
-    #    does not list were discarded by a leader change.  Records at or
-    #    below valid_after are covered by shipped SSTables, not by
-    #    valid_lsns — never truncate those.
-    valid = set(reply.valid_lsns)
-    floor = max(replica.committed_lsn, reply.valid_after)
-    mine = wal.write_records(cohort_id, after=floor)
-    to_skip = [r.lsn for r in mine if r.lsn not in valid]
-    if to_skip:
-        wal.add_skipped(cohort_id, to_skip)
-        for lsn in to_skip:
-            replica.queue.drop(lsn)
-    # 2. SSTables shipped because the leader's log rolled over.  Their
-    #    writes never enter our log, so remember the floor below which
-    #    local log holes are legitimate (audited by repro.chaos).
-    for table in reply.sstables:
-        replica.engine.ingest_sstable(table)
-    if reply.valid_after > replica.catchup_floor:
-        replica.catchup_floor = reply.valid_after
+    if chunk.epoch > replica.epoch:
+        replica.epoch = chunk.epoch
+    # 1. Logical truncation over this chunk's validity window: records
+    #    we hold in (valid_after, valid_upto] that the leader does not
+    #    list were discarded by a leader change.  Records above the
+    #    window are judged by later chunks; records at or below the
+    #    floor are covered by shipped SSTables, never truncated.
+    to_skip = []
+    t_floor = max(replica.committed_lsn, chunk.valid_after)
+    if chunk.valid_upto > t_floor:
+        valid = set(chunk.valid_lsns)
+        mine = wal.write_records(cohort_id, after=t_floor,
+                                 upto=chunk.valid_upto)
+        to_skip = [r.lsn for r in mine if r.lsn not in valid]
+        if to_skip:
+            wal.add_skipped(cohort_id, to_skip)
+            for lsn in to_skip:
+                replica.queue.drop(lsn)
+    # 2. Snapshot slice shipped because the leader's log rolled over.
+    #    The engine checkpoint is capped at the chunk's safe floor: an
+    #    overlapping compacted table still unshipped may hold surviving
+    #    cells above it.  Re-ingesting a retried chunk is a no-op.
+    for table in chunk.sstables:
+        replica.engine.ingest_sstable(table, checkpoint_upto=chunk.floor)
+    replica.catchup_tables_ingested += len(chunk.sstables)
+    # Volatile paging token for the next request (crash resets it; the
+    # durable resume point is the CatchupMarker floor).
+    replica.snapshot_seen = chunk.snapshot_seen
+    replica.catchup_source = chunk.source
+    floor_advanced = chunk.floor > replica.catchup_floor
+    if floor_advanced:
+        replica.catchup_floor = chunk.floor
+        # Our own records at or below the floor are superseded by the
+        # installed tables; roll them over so restart replay and the
+        # skipped list stay bounded by the gap, not the history.
+        wal.gc_through(cohort_id, chunk.floor)
     # 3. Missing committed records: append + force, then apply in order.
     #    ``backfill`` because a record may fall below our last LSN when a
     #    lost propose left a gap with later records already logged.
+    min_retained = wal.min_retained_lsn(cohort_id)
     forces = []
-    for record in reply.records:
+    for record in chunk.records:
         if (not wal.contains(cohort_id, record.lsn)
-                and record.lsn > wal.min_retained_lsn(cohort_id)):
+                and record.lsn > min_retained):
             forces.append(wal.append(record, force=True, backfill=True))
     if forces:
         yield all_of(node.sim, forces)
-    for record in reply.records:
+    for record in chunk.records:
         replica.engine.apply(record)
         replica.queue.drop(record.lsn)
-    new_cmt = max(replica.committed_lsn, reply.committed_lsn)
-    if reply.sstables:
-        new_cmt = max(new_cmt, max(t.max_lsn for t in reply.sstables))
-    if new_cmt > replica.committed_lsn:
+    new_cmt = max(replica.committed_lsn, replica.catchup_floor)
+    if chunk.records:
+        new_cmt = max(new_cmt, chunk.records[-1].lsn)
+    if not chunk.more:
+        # Final page: everything through the leader's commit point is
+        # shipped, already ours, or skip-listed — adopt l.cmt outright.
+        new_cmt = max(new_cmt, chunk.committed_lsn)
+    cmt_advanced = new_cmt > replica.committed_lsn
+    if cmt_advanced:
         replica.committed_lsn = new_cmt
         wal.append(CommitMarker(lsn=new_cmt, cohort_id=cohort_id,
                                 committed_lsn=new_cmt), force=False)
+    if floor_advanced or cmt_advanced:
+        # The per-chunk durability point: one forced marker also lands
+        # the non-forced commit marker above (group-commit semantics).
+        ev = wal.append(CatchupMarker(lsn=replica.catchup_floor,
+                                      cohort_id=cohort_id,
+                                      floor=replica.catchup_floor),
+                        force=True)
+        if ev is not None:
+            yield ev
+    replica.catchup_chunks_ingested += 1
     replica.next_seq = max(replica.next_seq,
                            wal.last_lsn(cohort_id).seq + 1)
     # Membership changes that arrived via catch-up (e.g. a retired member
     # that missed the commit broadcast) take effect now.
-    for record in reply.records:
+    for record in chunk.records:
         if record.key == MEMBERSHIP_KEY:
             node.on_membership_commit(record)
-    node.trace("catchup", "ingested",
-               cohort=cohort_id, records=len(reply.records),
-               sstables=len(reply.sstables), truncated=len(to_skip),
-               new_cmt=str(replica.committed_lsn))
+    node.trace("catchup", "chunk ingested",
+               cohort=cohort_id, records=len(chunk.records),
+               sstables=len(chunk.sstables), truncated=len(to_skip),
+               floor=str(replica.catchup_floor),
+               new_cmt=str(replica.committed_lsn), more=chunk.more)
 
 
 # ---------------------------------------------------------------------------
 # Follower-driven catch-up (§6.1, phase 2)
 # ---------------------------------------------------------------------------
 
+def _request_with_retries(replica, leader, payload, size, ctx,
+                          rpc_timeout=None):
+    """One catch-up RPC with per-chunk timeout + retry with backoff.
+
+    Returns the reply, or None once retries are exhausted.  ``yield
+    from`` me.
+    """
+    node, cfg = replica.node, replica.node.config
+    tracer = node.request_tracer
+    rpc_timeout = (cfg.catchup_chunk_timeout if rpc_timeout is None
+                   else rpc_timeout)
+    for attempt in range(cfg.catchup_chunk_retries + 1):
+        span = None
+        if ctx is not None:
+            span = tracer.start(ctx, "catchup_fetch", node.name,
+                                attempt=attempt)
+        try:
+            reply = yield node.endpoint.request(leader, payload, size=size,
+                                                timeout=rpc_timeout)
+        except RpcTimeout:
+            if span is not None:
+                tracer.finish(span, timed_out=True)
+            if attempt < cfg.catchup_chunk_retries:
+                yield timeout(node.sim,
+                              cfg.catchup_retry_backoff * (2 ** attempt))
+                continue
+            return None
+        if span is not None:
+            tracer.finish(span)
+        return reply
+    return None
+
+
 def follower_catchup(replica):
     """Catch up from the current leader; ``yield from`` me.
 
     Returns True on success (replica is now an active follower), False
     if the leader was unreachable or stepped down (caller retries after
-    re-resolving leadership).
+    re-resolving leadership).  Progress made before a failure is durable
+    — the next attempt resumes from the last applied chunk.
     """
-    node, cfg = replica.node, replica.node.config
+    node = replica.node
     leader = replica.leader
     if leader is None or leader == node.name:
         return False
-    # Phase A: bulk catch-up, leader unblocked.
+    tracer = node.request_tracer
+    ctx = tracer.begin("catchup", node.name) if tracer.enabled else None
+    ok = False
     try:
-        reply = yield node.endpoint.request(
-            leader, CatchupRequest(cohort_id=replica.cohort_id,
-                                   follower=node.name,
-                                   follower_cmt=replica.committed_lsn),
-            size=96, timeout=cfg.catchup_rpc_timeout)
-    except RpcTimeout:
-        return False
-    if not isinstance(reply, CatchupReply):
-        return False
-    yield from ingest_catchup(replica, reply)
-    # Phase B: final delta with the leader's writes momentarily blocked,
-    # plus the leader's pending writes, which we adopt and ack.
-    try:
-        final = yield node.endpoint.request(
-            leader, CatchupFinal(cohort_id=replica.cohort_id,
-                                 follower=node.name,
-                                 follower_cmt=replica.committed_lsn),
-            size=96, timeout=cfg.catchup_rpc_timeout)
-    except RpcTimeout:
-        return False
-    if not isinstance(final, dict) or "reply" not in final:
-        return False
-    yield from ingest_catchup(replica, final["reply"])
-    pending = final["pending"]
-    if pending:
-        forces = []
-        for record in pending:
-            if not node.wal.contains(replica.cohort_id, record.lsn):
-                forces.append(node.wal.append(record, force=True))
-            replica.queue.add(record)
-        if forces:
-            yield all_of(node.sim, forces)
-        top = max(r.lsn for r in pending)
-        node.endpoint.send(leader, Ack(cohort_id=replica.cohort_id,
-                                       epoch=replica.epoch, lsn=top,
-                                       sender=node.name), size=48)
-    replica.role = Role.FOLLOWER
-    replica.set_leader(leader)
-    return True
+        ok = yield from _catchup_rounds(replica, leader, ctx)
+        return ok
+    finally:
+        if ctx is not None:
+            tracer.finish(ctx.root, ok=ok)
+
+
+def _catchup_rounds(replica, leader, ctx):
+    node, cfg = replica.node, replica.node.config
+    tracer = node.request_tracer
+    for _round in range(_MAX_FINAL_ROUNDS):
+        # Phase A: bulk chunks, leader unblocked.
+        while True:
+            request = CatchupRequest(
+                cohort_id=replica.cohort_id, follower=node.name,
+                follower_cmt=replica.committed_lsn,
+                floor=replica.catchup_floor,
+                seen=replica.snapshot_seen,
+                source=replica.catchup_source)
+            chunk = yield from _request_with_retries(replica, leader,
+                                                     request, 96, ctx)
+            if not isinstance(chunk, CatchupChunk):
+                return False
+            span = None
+            if ctx is not None and chunk.sstables:
+                span = tracer.start(ctx, "snapshot_install", node.name,
+                                    tables=len(chunk.sstables))
+            yield from ingest_catchup(replica, chunk)
+            if span is not None:
+                tracer.finish(span, floor=str(replica.catchup_floor))
+            if not chunk.more:
+                break
+        # Phase B: final delta with the leader's writes momentarily
+        # blocked, plus the leader's pending writes, which we adopt and
+        # ack.  The leader only ever ships the *last delta* here; if its
+        # log rolled past us between phases it answers "behind" and we
+        # return to unblocked bulk chunks instead.
+        final = yield from _request_with_retries(
+            replica, leader,
+            CatchupFinal(cohort_id=replica.cohort_id, follower=node.name,
+                         follower_cmt=replica.committed_lsn),
+            96, ctx, rpc_timeout=cfg.catchup_rpc_timeout)
+        if isinstance(final, dict) and final.get("code") == "behind":
+            continue
+        if not isinstance(final, dict) or "reply" not in final:
+            return False
+        yield from ingest_catchup(replica, final["reply"])
+        pending = final["pending"]
+        if pending:
+            forces = []
+            for record in pending:
+                if not node.wal.contains(replica.cohort_id, record.lsn):
+                    forces.append(node.wal.append(record, force=True))
+                replica.queue.add(record)
+            if forces:
+                yield all_of(node.sim, forces)
+            top = max(r.lsn for r in pending)
+            node.endpoint.send(leader, Ack(cohort_id=replica.cohort_id,
+                                           epoch=replica.epoch, lsn=top,
+                                           sender=node.name), size=48)
+        replica.role = Role.FOLLOWER
+        replica.set_leader(leader)
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Leader-driven catch-up push (takeover, rebalance, handoff)
+# ---------------------------------------------------------------------------
+
+def push_catchup(leader_replica, peer: str):
+    """Bring ``peer`` up to this replica's commit point by pushing
+    chunks; ``yield from`` me.  Returns the peer name.
+
+    The one bulk-repair path: leader takeover (Fig. 6 lines 3-7),
+    rebalance replace-joiners, and leadership handoff all route through
+    here, so a far-behind peer is always repaired via the chunked
+    snapshot-install protocol.  Raises
+    :class:`~repro.sim.events.SimulationError` when the peer cannot be
+    caught up (callers' retry loops handle it); chunk progress already
+    pushed is durable at the peer and is not re-shipped on retry.
+    """
+    node, cfg = leader_replica.node, leader_replica.node.config
+    cohort_id = leader_replica.cohort_id
+    state = yield node.endpoint.request(
+        peer, TakeoverState(cohort_id=cohort_id,
+                            epoch=leader_replica.epoch),
+        size=64, timeout=cfg.takeover_state_timeout)
+    if not isinstance(state, dict) or "cmt" not in state:
+        raise SimulationError(f"{peer} gave no takeover state")
+    follower_cmt = state["cmt"]
+    floor = state.get("floor", LSN.zero())
+    seen = LSN.zero()
+    source = None
+    while True:
+        yield from serve(node.cpu, cfg.takeover_record_service)
+        request = CatchupRequest(cohort_id=cohort_id, follower=peer,
+                                 follower_cmt=follower_cmt, floor=floor,
+                                 seen=seen, source=source)
+        chunk = build_catchup_chunk(leader_replica, request)
+        done = None
+        for attempt in range(cfg.catchup_chunk_retries + 1):
+            try:
+                done = yield node.endpoint.request(
+                    peer, chunk, size=chunk_wire_size(chunk),
+                    timeout=cfg.catchup_chunk_timeout)
+                break
+            except RpcTimeout:
+                if attempt < cfg.catchup_chunk_retries:
+                    yield timeout(
+                        node.sim,
+                        cfg.catchup_retry_backoff * (2 ** attempt))
+        if not isinstance(done, dict) or "cmt" not in done:
+            raise SimulationError(f"{peer} failed catch-up")
+        follower_cmt = done["cmt"]
+        floor = done.get("floor", floor)
+        seen = chunk.snapshot_seen
+        source = chunk.source
+        if not chunk.more:
+            return peer
 
 
 # ---------------------------------------------------------------------------
@@ -242,21 +521,10 @@ def leader_takeover(replica):
     l_cmt = replica.committed_lsn
     l_lst = node.wal.last_lsn(cohort_id)
 
-    # Lines 3-7: catch each follower up to l.cmt.
+    # Lines 3-7: catch each follower up to l.cmt (chunked push).
     def catch_one(peer: str):
-        state = yield node.endpoint.request(
-            peer, TakeoverState(cohort_id=cohort_id, epoch=replica.epoch),
-            size=64, timeout=cfg.takeover_state_timeout)
-        if not isinstance(state, dict) or "cmt" not in state:
-            raise SimulationError(f"{peer} gave no takeover state")
-        reply = build_catchup_reply(replica, state["cmt"])
-        done = yield node.endpoint.request(
-            peer, reply,
-            size=sum(r.encoded_size() for r in reply.records) + 128,
-            timeout=cfg.catchup_rpc_timeout)
-        if done != "caught-up":
-            raise SimulationError(f"{peer} failed catch-up")
-        return peer
+        caught_peer = yield from push_catchup(replica, peer)
+        return caught_peer
 
     # Line 8: wait until at least one follower is caught up to l.cmt.
     # Retry until a quorum exists — with both followers down the cohort

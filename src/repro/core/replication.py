@@ -106,7 +106,16 @@ class CohortReplica:
         # Records at or below this LSN may be absent from the local log:
         # they arrived as shipped SSTables during catch-up (§6.1), not as
         # log records.  The log-prefix auditors respect this floor.
+        # Advanced durably per catch-up chunk (CatchupMarker), so a crash
+        # mid-install resumes from the last applied chunk.
         self.catchup_floor = LSN.zero()
+        # Volatile snapshot-paging state for an in-flight chunked
+        # catch-up: the max table LSN received so far, valid only for
+        # the (leader, manifest_id) generation in ``catchup_source``.
+        # A crash resets both; resume restarts paging from the durable
+        # floor.
+        self.snapshot_seen = LSN.zero()
+        self.catchup_source: Optional[Tuple[str, int]] = None
         self._resyncing = False
         #: set while this leader is executing a membership change
         self.migrating = False
@@ -118,6 +127,8 @@ class CohortReplica:
         self.reads_served = 0
         self.proposes_handled = 0
         self.resyncs = 0
+        self.catchup_chunks_ingested = 0
+        self.catchup_tables_ingested = 0
 
     # ------------------------------------------------------------------
     # Identity helpers
@@ -806,6 +817,10 @@ class CohortReplica:
         self.candidate_path = None
         self.write_block = None
         self._resyncing = False
+        # Paging tokens are volatile: resume restarts from the durable
+        # floor (CatchupMarker), never from a stale token.
+        self.snapshot_seen = LSN.zero()
+        self.catchup_source = None
 
     def step_down(self) -> None:
         """Coordination session lost: we can no longer prove leadership
@@ -832,3 +847,9 @@ class CohortReplica:
         self.epoch = 0
         self.committed_lsn = LSN.zero()
         self._last_commit_broadcast = LSN.zero()
+        self.snapshot_seen = LSN.zero()
+        self.catchup_source = None
+        # Re-derive the durable catch-up floor from the log's surviving
+        # CatchupMarkers, so a crash mid-snapshot-install resumes from
+        # the last durably applied chunk.
+        self.catchup_floor = self.node.wal.catchup_floor(self.cohort_id)

@@ -17,7 +17,8 @@ This package never imports from :mod:`repro.core`; the protocol imports
 *us*, so tracing stays a leaf dependency.
 """
 
-from .phases import (READ_PHASES, WRITE_PHASES, collect_traces,
+from .phases import (CATCHUP_PHASES, READ_PHASES, WRITE_PHASES,
+                     collect_traces,
                      format_phase_table, format_trace, phase_durations,
                      phase_histograms, phase_summary, slowest_traces)
 from .trace import (NullRequestTracer, RequestTracer, Span, SpanStore,
@@ -26,7 +27,7 @@ from .trace import (NullRequestTracer, RequestTracer, Span, SpanStore,
 __all__ = [
     "Span", "SpanStore", "TraceContext",
     "RequestTracer", "NullRequestTracer",
-    "WRITE_PHASES", "READ_PHASES",
+    "WRITE_PHASES", "READ_PHASES", "CATCHUP_PHASES",
     "collect_traces", "phase_durations", "phase_histograms",
     "phase_summary",
     "slowest_traces", "format_trace", "format_phase_table",

@@ -25,15 +25,19 @@ from typing import Dict, List, Optional
 
 from ..sim.metrics import Histogram
 
-__all__ = ["WRITE_PHASES", "READ_PHASES", "TraceView", "collect_traces",
-           "phase_durations", "phase_histograms", "phase_summary",
-           "slowest_traces", "format_trace", "format_phase_table"]
+__all__ = ["WRITE_PHASES", "READ_PHASES", "CATCHUP_PHASES", "TraceView",
+           "collect_traces", "phase_durations", "phase_histograms",
+           "phase_summary", "slowest_traces", "format_trace",
+           "format_phase_table"]
 
 #: Canonical phase order for the write path (Fig. 4).
 WRITE_PHASES = ("route", "propose", "log_force", "replicate_rtt",
                 "quorum_wait", "commit_apply", "reply")
 #: Canonical phase order for the read path.
 READ_PHASES = ("route", "read_serve", "reply")
+#: Canonical phase order for chunked catch-up (§6.1): fetching one chunk
+#: over the network vs. installing its snapshot slice locally.
+CATCHUP_PHASES = ("catchup_fetch", "snapshot_install")
 
 
 class TraceView:
@@ -118,7 +122,12 @@ def phase_histograms(views: List[TraceView],
 
 
 def _phase_order(op: str, phases) -> List[str]:
-    canon = WRITE_PHASES if op in ("write", "txn") else READ_PHASES
+    if op == "catchup":
+        canon = CATCHUP_PHASES
+    elif op in ("write", "txn"):
+        canon = WRITE_PHASES
+    else:
+        canon = READ_PHASES
     ordered = [p for p in canon if p in phases]
     ordered.extend(sorted(p for p in phases
                           if p not in canon and p != "_total"))

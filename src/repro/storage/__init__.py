@@ -7,22 +7,24 @@ our from-scratch equivalent, shared by both the Spinnaker implementation
 """
 
 from .lsn import LSN
-from .records import (CheckpointRecord, CommitMarker, LogRecord, WriteRecord,
-                      decode_record, encode_record)
+from .records import (CatchupMarker, CheckpointRecord, CommitMarker,
+                      LogRecord, WriteRecord, decode_record, encode_record)
 from .wal import DuplicateLSN, SharedLog, StaleLSN
 from .memtable import Cell, Memtable, lsn_order, timestamp_order
 from .bloom import BloomFilter
 from .sstable import SSTable
 from .compaction import SizeTieredPolicy, compact
+from .snapshot import SnapshotManifest
 from .engine import StorageEngine
 
 __all__ = [
     "LSN",
-    "WriteRecord", "CommitMarker", "CheckpointRecord", "LogRecord",
-    "encode_record", "decode_record",
+    "WriteRecord", "CommitMarker", "CheckpointRecord", "CatchupMarker",
+    "LogRecord", "encode_record", "decode_record",
     "SharedLog", "DuplicateLSN", "StaleLSN",
     "Cell", "Memtable", "lsn_order", "timestamp_order",
     "BloomFilter", "SSTable",
     "compact", "SizeTieredPolicy",
+    "SnapshotManifest",
     "StorageEngine",
 ]

@@ -24,6 +24,7 @@ from .compaction import SizeTieredPolicy, compact
 from .lsn import LSN
 from .memtable import Cell, Memtable, lsn_order
 from .records import WriteRecord
+from .snapshot import SnapshotManifest
 from .sstable import SSTable
 
 __all__ = ["StorageEngine"]
@@ -46,6 +47,10 @@ class StorageEngine:
         self.checkpoint_lsn = LSN.zero()    # all LSNs <= this are in SSTables
         self.flushes = 0
         self.compactions = 0
+        # Bumped whenever the SSTable set changes so paging tokens issued
+        # against one snapshot manifest are never replayed against a
+        # structurally different table set.
+        self.manifest_id = 0
 
     # ------------------------------------------------------------------
     # Writes
@@ -80,6 +85,7 @@ class StorageEngine:
         if new_checkpoint > self.checkpoint_lsn:
             self.checkpoint_lsn = new_checkpoint
         self.flushes += 1
+        self.manifest_id += 1
         self.maybe_compact()
         return self.checkpoint_lsn
 
@@ -99,6 +105,7 @@ class StorageEngine:
         self.sstables = [merged] + survivors
         self.sstables.sort(key=lambda t: t.max_lsn, reverse=True)
         self.compactions += 1
+        self.manifest_id += 1
         return True
 
     def purge_tombstones(self) -> None:
@@ -111,6 +118,7 @@ class StorageEngine:
                          drop_tombstones=True)
         self.sstables = [merged]
         self.compactions += 1
+        self.manifest_id += 1
 
     # ------------------------------------------------------------------
     # Reads
@@ -182,16 +190,38 @@ class StorageEngine:
         """Tables a leader ships when its log rolled past ``lsn``."""
         return [t for t in self.sstables if t.overlaps_lsn_range(lsn)]
 
-    def ingest_sstable(self, table: SSTable) -> None:
-        """Adopt a table shipped from the leader during catch-up."""
+    def manifest(self) -> SnapshotManifest:
+        """The current snapshot manifest: this engine's SSTable set in
+        shipping order, stamped with the checkpoint LSN (§6.1)."""
+        return SnapshotManifest.capture(
+            manifest_id=self.manifest_id, cohort_id=self.cohort_id,
+            checkpoint_lsn=self.checkpoint_lsn, sstables=self.sstables)
+
+    def ingest_sstable(self, table: SSTable,
+                       checkpoint_upto: Optional[LSN] = None) -> None:
+        """Adopt a table shipped from the leader during catch-up.
+
+        ``checkpoint_upto`` caps how far the checkpoint may advance: a
+        chunked install must not claim durability for LSNs whose cells
+        could still live in an unshipped (compacted, overlapping) table.
+        None means the table is complete up to its max LSN (the one-shot
+        and split-ingest paths).  Re-ingesting a table object already
+        present is a no-op, so chunk retries are idempotent.
+        """
+        if any(t is table for t in self.sstables):
+            return
         self.sstables.insert(0, table)
         self.sstables.sort(key=lambda t: t.max_lsn, reverse=True)
-        if table.max_lsn > self.applied_lsn:
-            self.applied_lsn = table.max_lsn
-        if table.max_lsn > self.checkpoint_lsn:
+        advance = table.max_lsn
+        if checkpoint_upto is not None and checkpoint_upto < advance:
+            advance = checkpoint_upto
+        if advance > self.applied_lsn:
+            self.applied_lsn = advance
+        if advance > self.checkpoint_lsn:
             # Shipped tables are durable by construction; local recovery
-            # need not replay below their max LSN for these cells.
-            self.checkpoint_lsn = table.max_lsn
+            # need not replay below ``advance`` for these cells.
+            self.checkpoint_lsn = advance
+        self.manifest_id += 1
 
     # ------------------------------------------------------------------
     # Crash / restart
@@ -207,3 +237,4 @@ class StorageEngine:
         self.sstables = []
         self.applied_lsn = LSN.zero()
         self.checkpoint_lsn = LSN.zero()
+        self.manifest_id += 1

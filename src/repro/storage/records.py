@@ -1,6 +1,6 @@
 """Log record types and their binary wire format.
 
-Three record kinds appear in a node's shared write-ahead log:
+Four record kinds appear in a node's shared write-ahead log:
 
 * :class:`WriteRecord` — one client write (put / delete / conditional
   variants all log the same record shape; §5).  Forced at append time.
@@ -8,6 +8,10 @@ Three record kinds appear in a node's shared write-ahead log:
   message is processed; written with a **non-forced** append (§5).
 * :class:`CheckpointRecord` — marks that memtable state up to an LSN has
   been captured in SSTables, bounding local recovery (§6.1).
+* :class:`CatchupMarker` — durable catch-up progress: records at or
+  below ``floor`` arrived as shipped SSTables during chunked catch-up
+  (§6.1), so a restart resumes the install from ``floor`` instead of
+  from scratch, and log holes below it are legitimate.
 
 The binary encoding exists so record sizes charged to the simulated log
 device are honest and so serialization round-trips can be tested; the
@@ -22,13 +26,14 @@ from typing import Optional, Union
 
 from .lsn import LSN
 
-__all__ = ["WriteRecord", "CommitMarker", "CheckpointRecord", "LogRecord",
-           "encode_record", "decode_record"]
+__all__ = ["WriteRecord", "CommitMarker", "CheckpointRecord",
+           "CatchupMarker", "LogRecord", "encode_record", "decode_record"]
 
 _HEADER = struct.Struct(">BQdH")  # kind, lsn, timestamp, cohort_id
 _KIND_WRITE = 1
 _KIND_COMMIT = 2
 _KIND_CHECKPOINT = 3
+_KIND_CATCHUP = 4
 
 
 @dataclass(frozen=True)
@@ -79,7 +84,26 @@ class CheckpointRecord:
         return _HEADER.size + 8
 
 
-LogRecord = Union[WriteRecord, CommitMarker, CheckpointRecord]
+@dataclass(frozen=True)
+class CatchupMarker:
+    """Durable chunked-catch-up progress (§6.1).
+
+    State at or below ``floor`` was installed from shipped SSTables, so
+    it is (a) absent from the log legitimately and (b) already durable
+    on disk — a restart mid-install resumes above ``floor``.  Forced at
+    append time: it *is* the per-chunk durability point.
+    """
+
+    lsn: LSN
+    cohort_id: int
+    floor: LSN
+
+    def encoded_size(self) -> int:
+        return _HEADER.size + 8
+
+
+LogRecord = Union[WriteRecord, CommitMarker, CheckpointRecord,
+                  CatchupMarker]
 
 
 def encode_record(record: LogRecord) -> bytes:
@@ -106,6 +130,10 @@ def encode_record(record: LogRecord) -> bytes:
         head = _HEADER.pack(_KIND_CHECKPOINT, record.lsn.to_int(), 0,
                             record.cohort_id)
         return head + struct.pack(">Q", record.checkpoint_lsn.to_int())
+    if isinstance(record, CatchupMarker):
+        head = _HEADER.pack(_KIND_CATCHUP, record.lsn.to_int(), 0,
+                            record.cohort_id)
+        return head + struct.pack(">Q", record.floor.to_int())
     raise TypeError(f"unknown record type {record!r}")
 
 
@@ -142,4 +170,8 @@ def decode_record(data: bytes) -> LogRecord:
         (ckpt,) = struct.unpack_from(">Q", data, offset)
         return CheckpointRecord(lsn=lsn, cohort_id=cohort_id,
                                 checkpoint_lsn=LSN.from_int(ckpt))
+    if kind == _KIND_CATCHUP:
+        (floor,) = struct.unpack_from(">Q", data, offset)
+        return CatchupMarker(lsn=lsn, cohort_id=cohort_id,
+                             floor=LSN.from_int(floor))
     raise ValueError(f"unknown record kind {kind}")

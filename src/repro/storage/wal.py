@@ -24,12 +24,13 @@ cache.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..sim.disk import LogDevice
 from ..sim.events import Event
 from .lsn import LSN
-from .records import (CheckpointRecord, CommitMarker, LogRecord, WriteRecord)
+from .records import (CatchupMarker, CheckpointRecord, CommitMarker,
+                      LogRecord, WriteRecord)
 
 __all__ = ["SharedLog", "DuplicateLSN", "StaleLSN"]
 
@@ -54,15 +55,17 @@ class _CohortView:
     """Per-cohort logical view over the shared physical log."""
 
     __slots__ = ("writes", "by_lsn", "skipped", "last_cmt", "ckpt",
-                 "min_retained")
+                 "min_retained", "catchup_floor", "_skipped_view")
 
     def __init__(self) -> None:
         self.writes: List[_Entry] = []        # WriteRecords, append order
         self.by_lsn: Dict[LSN, _Entry] = {}
-        self.skipped: Set[LSN] = set()        # the skipped-LSN list (§6.1.1)
+        self.skipped = set()                  # the skipped-LSN list (§6.1.1)
         self.last_cmt = LSN.zero()            # from durable commit markers
         self.ckpt = LSN.zero()
         self.min_retained = LSN.zero()        # GC horizon (exclusive)
+        self.catchup_floor = LSN.zero()       # from durable catch-up markers
+        self._skipped_view: Optional[FrozenSet[LSN]] = None
 
 
 class SharedLog:
@@ -73,7 +76,7 @@ class SharedLog:
         self._seq = 0
         self._durable_seq = 0
         self._views: Dict[int, _CohortView] = {}
-        self._markers: List[_Entry] = []   # commit + checkpoint records
+        self._markers: List[_Entry] = []   # commit/checkpoint/catch-up
         self.bytes_appended = 0
 
     # ------------------------------------------------------------------
@@ -111,8 +114,9 @@ class SharedLog:
                 idx -= 1
             view.writes.insert(idx, entry)
             view.by_lsn[record.lsn] = entry
-            if backfill:
+            if backfill and record.lsn in view.skipped:
                 view.skipped.discard(record.lsn)
+                view._skipped_view = None
         else:
             self._markers.append(entry)
             if isinstance(record, CommitMarker):
@@ -121,6 +125,9 @@ class SharedLog:
             elif isinstance(record, CheckpointRecord):
                 if record.checkpoint_lsn > view.ckpt:
                     view.ckpt = record.checkpoint_lsn
+            elif isinstance(record, CatchupMarker):
+                if record.floor > view.catchup_floor:
+                    view.catchup_floor = record.floor
         size = record.encoded_size()
         self.bytes_appended += size
         if self.device is None:
@@ -203,6 +210,16 @@ class SharedLog:
     def checkpoint_lsn(self, cohort_id: int) -> LSN:
         return self._view(cohort_id).ckpt
 
+    def catchup_floor(self, cohort_id: int) -> LSN:
+        """Durable chunked-catch-up progress: state at or below this LSN
+        was installed from shipped SSTables (see :class:`CatchupMarker`)."""
+        return self._view(cohort_id).catchup_floor
+
+    def marker_count(self) -> int:
+        """How many commit/checkpoint/catch-up markers the log retains —
+        bounded by marker GC, not by history length."""
+        return len(self._markers)
+
     def contains(self, cohort_id: int, lsn: LSN) -> bool:
         return lsn in self._view(cohort_id).by_lsn
 
@@ -239,10 +256,17 @@ class SharedLog:
     # ------------------------------------------------------------------
     def add_skipped(self, cohort_id: int, lsns: Iterable[LSN]) -> None:
         """Record discarded LSNs in the cohort's skipped-LSN list."""
-        self._view(cohort_id).skipped.update(lsns)
+        view = self._view(cohort_id)
+        view.skipped.update(lsns)
+        view._skipped_view = None
 
-    def skipped_lsns(self, cohort_id: int) -> Set[LSN]:
-        return set(self._view(cohort_id).skipped)
+    def skipped_lsns(self, cohort_id: int) -> FrozenSet[LSN]:
+        """Read-only view of the skipped-LSN list; cached between
+        mutations so hot-path callers don't copy the set every call."""
+        view = self._view(cohort_id)
+        if view._skipped_view is None:
+            view._skipped_view = frozenset(view.skipped)
+        return view._skipped_view
 
     def is_skipped(self, cohort_id: int, lsn: LSN) -> bool:
         return lsn in self._view(cohort_id).skipped
@@ -262,9 +286,52 @@ class SharedLog:
                 keep.append(entry)
         view.writes = keep
         view.skipped = {lsn for lsn in view.skipped if lsn > upto}
+        view._skipped_view = None
         if upto > view.min_retained:
             view.min_retained = upto
+        self._gc_markers()
         return dropped
+
+    @staticmethod
+    def _marker_key(record: LogRecord) -> Tuple[int, int]:
+        if isinstance(record, CommitMarker):
+            return (record.cohort_id, 1)
+        if isinstance(record, CheckpointRecord):
+            return (record.cohort_id, 2)
+        return (record.cohort_id, 3)  # CatchupMarker
+
+    @staticmethod
+    def _marker_value(record: LogRecord) -> LSN:
+        if isinstance(record, CommitMarker):
+            return record.committed_lsn
+        if isinstance(record, CheckpointRecord):
+            return record.checkpoint_lsn
+        return record.floor  # CatchupMarker
+
+    def _gc_markers(self) -> None:
+        """Drop durable markers superseded by a newer durable marker of
+        the same kind for the same cohort.
+
+        Only **durable** markers may act as superseders: a volatile
+        marker may still be lost in a crash, and dropping the durable one
+        it shadows would lose both states.  :meth:`crash` recomputes
+        marker-derived state by a max over the survivors, so keeping the
+        maximal durable marker per (cohort, kind) preserves it exactly.
+        """
+        best: Dict[Tuple[int, int], _Entry] = {}
+        for entry in self._markers:
+            if entry.seq > self._durable_seq:
+                continue
+            key = self._marker_key(entry.record)
+            cur = best.get(key)
+            if (cur is None or self._marker_value(entry.record)
+                    >= self._marker_value(cur.record)):
+                best[key] = entry
+        self._markers = [
+            entry for entry in self._markers
+            if entry.seq > self._durable_seq
+            or best.get(self._marker_key(entry.record)) is entry
+        ]
 
     # ------------------------------------------------------------------
     # Crash / restart
@@ -281,6 +348,8 @@ class SharedLog:
         for view in self._views.values():
             view.last_cmt = LSN.zero()
             view.ckpt = LSN.zero()
+            view.catchup_floor = LSN.zero()
+            view._skipped_view = None
         for entry in self._markers:
             view = self._view(entry.record.cohort_id)
             rec = entry.record
@@ -290,6 +359,9 @@ class SharedLog:
             elif isinstance(rec, CheckpointRecord):
                 if rec.checkpoint_lsn > view.ckpt:
                     view.ckpt = rec.checkpoint_lsn
+            elif isinstance(rec, CatchupMarker):
+                if rec.floor > view.catchup_floor:
+                    view.catchup_floor = rec.floor
 
     def wipe(self) -> None:
         """Total media loss (double-disk failure, §6.1 'lost all data')."""

@@ -43,7 +43,7 @@ class TestWriteTrace:
 
         proc = spawn(cluster.sim, wl(), name="wl")
         cluster.run_until(lambda: proc.triggered, limit=30.0)
-        views = collect_traces(tracer)
+        views = collect_traces(tracer, op="write")
         assert len(views) == 1
         view = views[0]
         assert view.op == "write" and view.completed
@@ -88,7 +88,8 @@ class TestWriteTrace:
         proc = spawn(cluster.sim, wl(), name="wl")
         cluster.run_until(lambda: proc.triggered, limit=30.0)
         assert tracer.spans() == []
-        assert tracer.skipped == 3
+        # 3 writes plus any startup catch-up begins, all unsampled.
+        assert tracer.skipped >= 3
 
     def test_null_tracer_cluster_serves_writes(self):
         cluster = SpinnakerCluster(n_nodes=3, seed=3)
@@ -135,7 +136,7 @@ class TestTakeoverTruncation:
         cluster.run_until(lambda: done.get("ok", False), limit=60.0,
                           what="write completes after failover")
 
-        views = collect_traces(tracer)
+        views = collect_traces(tracer, op="write")
         assert len(views) == 1
         view = views[0]
         assert view.completed            # the retry eventually succeeded
@@ -144,11 +145,14 @@ class TestTakeoverTruncation:
         assert truncated
         assert all(s.node == leader_name for s in truncated)
         # No span may outlive the crash instant on the dead leader, and
-        # nothing is left open anywhere.
+        # nothing of the write is left open anywhere (rejoin catch-up
+        # traces may legitimately still be in flight elsewhere).
         crash_at = max(s.end for s in truncated)
         new_leader = cluster.leader_of(cid)
         assert new_leader != leader_name
-        assert tracer.open_spans() == []
+        assert [s for s in tracer.open_spans()
+                if s.trace_id == view.trace_id] == []
+        assert all(s.node != leader_name for s in tracer.open_spans())
         complete = [s for s in view.spans
                     if not s.truncated and s.name == "quorum_wait"]
         assert complete and all(s.start >= crash_at for s in complete)
@@ -195,7 +199,7 @@ class TestBatchedForceAttribution:
         assert batcher.batches_sent < len(keys), \
             "burst did not engage batching; test premise broken"
 
-        views = collect_traces(tracer)
+        views = collect_traces(tracer, op="write")
         assert len(views) == len(keys)
         intervals = []
         for view in views:

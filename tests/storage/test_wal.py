@@ -6,7 +6,8 @@ from repro.sim.disk import DiskProfile, LogDevice
 from repro.sim.events import Simulator
 from repro.sim.rng import RngRegistry
 from repro.storage.lsn import LSN
-from repro.storage.records import CheckpointRecord, CommitMarker, WriteRecord
+from repro.storage.records import (CatchupMarker, CheckpointRecord,
+                                   CommitMarker, WriteRecord)
 from repro.storage.wal import DuplicateLSN, SharedLog, StaleLSN
 
 
@@ -216,3 +217,71 @@ def test_append_batch_validates_like_append():
 def test_append_batch_empty_is_noop():
     log = SharedLog()
     assert log.append_batch([]) is None
+
+
+# ---------------------------------------------------------------------------
+# Catch-up markers and marker GC (chunked catch-up, §6.1)
+# ---------------------------------------------------------------------------
+
+def test_catchup_marker_advances_floor_and_survives_crash():
+    sim, log = make_wal_with_device()
+    log.append(wrec(1, 3))
+    log.append(CatchupMarker(lsn=LSN(1, 3), cohort_id=0,
+                             floor=LSN(1, 3)), force=True)
+    sim.run()
+    assert log.catchup_floor(0) == LSN(1, 3)
+    log.device.crash()
+    log.crash()
+    # The forced marker is the durable resume point.
+    assert log.catchup_floor(0) == LSN(1, 3)
+
+
+def test_nonforced_catchup_marker_lost_without_later_force():
+    sim, log = make_wal_with_device()
+    log.append(wrec(1, 1))
+    sim.run()
+    log.append(CatchupMarker(lsn=LSN(1, 1), cohort_id=0,
+                             floor=LSN(1, 1)), force=False)
+    log.device.crash()
+    log.crash()
+    assert log.catchup_floor(0) == LSN.zero()
+
+
+def test_marker_gc_bounds_marker_count():
+    # Marker growth is bounded by GC, not history: after every log roll
+    # only the maximal durable marker per (cohort, kind) survives.
+    log = SharedLog()
+    for seq in range(1, 301):
+        log.append(wrec(1, seq))
+        lsn = LSN(1, seq)
+        log.append(CommitMarker(lsn=lsn, cohort_id=0, committed_lsn=lsn),
+                   force=False)
+        log.append(CheckpointRecord(lsn=lsn, cohort_id=0,
+                                    checkpoint_lsn=lsn), force=False)
+        log.append(CatchupMarker(lsn=lsn, cohort_id=0, floor=lsn),
+                   force=False)
+        if seq % 25 == 0:
+            log.gc_through(0, lsn)
+    assert log.marker_count() <= 3 + 3 * 25
+    log.gc_through(0, LSN(1, 300))
+    assert log.marker_count() == 3      # one survivor per kind
+    log.crash()                          # deviceless: all durable
+    assert log.last_committed_lsn(0) == LSN(1, 300)
+    assert log.checkpoint_lsn(0) == LSN(1, 300)
+    assert log.catchup_floor(0) == LSN(1, 300)
+
+
+def test_marker_gc_never_drops_durable_for_volatile_superseder():
+    sim, log = make_wal_with_device()
+    log.append(wrec(1, 1))
+    log.append(CommitMarker(lsn=LSN(1, 1), cohort_id=0,
+                            committed_lsn=LSN(1, 1)), force=True)
+    sim.run()
+    # A newer marker exists but is volatile: GC must keep the durable
+    # one — dropping it would lose both states across a crash.
+    log.append(CommitMarker(lsn=LSN(1, 1), cohort_id=0,
+                            committed_lsn=LSN(1, 2)), force=False)
+    log.gc_through(0, LSN(1, 1))
+    log.device.crash()
+    log.crash()
+    assert log.last_committed_lsn(0) == LSN(1, 1)
