@@ -9,9 +9,14 @@ benchmark numbers — rests on one property: a run is a pure function of
   I/O, order-escaping ``set`` iteration, scheduling-visible ``dict``
   iteration, ``id()``/``hash()`` ordering, and non-``Event`` yields in
   process bodies);
+- :mod:`~repro.analysis.atomicity` splits each process body into
+  *yield segments* and flags check-then-act races across yields
+  (stale guard snapshots, unguarded post-yield state writes, and
+  collections mutated mid-iteration across a yield);
 - :mod:`~repro.analysis.protocol` cross-references the frozen-dataclass
   message catalogs against the ``isinstance``-chain dispatchers and
-  reports unhandled, dead, and epoch-unchecked message types;
+  reports unhandled, dead, epoch-unchecked, and size-less message
+  types;
 - :mod:`~repro.analysis.findings` provides the shared finding model,
   ``# lint: allow(<rule>)`` pragma suppression, and the checked-in
   baseline mechanism;
@@ -21,6 +26,8 @@ benchmark numbers — rests on one property: a run is a pure function of
 
 from __future__ import annotations
 
+from .atomicity import (ATOMICITY_RULES, DEFAULT_GUARD_ATTRS,
+                        lint_atomicity)
 from .determinism import DETERMINISM_RULES, lint_source
 from .findings import (Baseline, Finding, match_baseline, parse_pragmas,
                        suppressed)
@@ -29,7 +36,9 @@ from .protocol import (DEFAULT_PROTOCOLS, ProtocolSpec, check_protocol,
 from .runner import LintResult, run_lint
 
 __all__ = [
+    "ATOMICITY_RULES",
     "Baseline",
+    "DEFAULT_GUARD_ATTRS",
     "DEFAULT_PROTOCOLS",
     "DETERMINISM_RULES",
     "Finding",
@@ -37,6 +46,7 @@ __all__ = [
     "ProtocolSpec",
     "check_protocol",
     "check_protocols",
+    "lint_atomicity",
     "lint_source",
     "match_baseline",
     "parse_pragmas",

@@ -13,6 +13,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from .atomicity import ATOMICITY_RULES
 from .determinism import DETERMINISM_RULES
 from .findings import Baseline
 from .protocol import PROTOCOL_RULES
@@ -20,7 +21,7 @@ from .runner import LintResult, run_lint
 
 __all__ = ["main"]
 
-ALL_RULES = {**DETERMINISM_RULES, **PROTOCOL_RULES}
+ALL_RULES = {**DETERMINISM_RULES, **ATOMICITY_RULES, **PROTOCOL_RULES}
 
 
 def _default_root() -> Path:
@@ -40,10 +41,14 @@ def _default_baseline(root: Path) -> Optional[Path]:
 def _format_text(result: LintResult, verbose: bool) -> List[str]:
     lines = [f.format() for f in result.findings]
     lines.extend(f"parse error: {err}" for err in result.parse_errors)
+    lines.extend(f"stale baseline entry: [{rule}] {path} :: {code!r} "
+                 f"(run --prune-baseline)"
+                 for rule, path, code in result.stale_baseline)
     summary = (f"checked {result.files_checked} files: "
                f"{len(result.findings)} new finding(s), "
                f"{len(result.baselined)} baselined, "
-               f"{len(result.pragma_suppressed)} pragma-suppressed")
+               f"{len(result.pragma_suppressed)} pragma-suppressed, "
+               f"{len(result.stale_baseline)} stale baseline entries")
     if verbose:
         lines.extend(f"baselined: {f.format()}" for f in result.baselined)
         lines.extend(f"suppressed: {f.format()}"
@@ -73,6 +78,9 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="rewrite the baseline with every current "
                              "finding and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="drop baseline entries that no longer "
+                             "match any finding and rewrite the file")
     parser.add_argument("--rule", action="append", dest="rules",
                         choices=sorted(ALL_RULES),
                         help="run only the named rule (repeatable)")
@@ -100,7 +108,26 @@ def main(argv: List[str]) -> int:
         baseline_path = _default_baseline(root.resolve())
 
     rules = set(args.rules) if args.rules else None
+    if args.prune_baseline and rules is not None:
+        print("--prune-baseline cannot be combined with --rule: a "
+              "restricted run cannot tell which entries are stale",
+              file=sys.stderr)
+        return 2
+    if args.prune_baseline and (baseline_path is None
+                                or not baseline_path.exists()):
+        print("--prune-baseline: no baseline file to prune",
+              file=sys.stderr)
+        return 2
+
     result = run_lint(root, baseline_path=baseline_path, rules=rules)
+
+    if args.prune_baseline:
+        dropped = len(result.stale_baseline)
+        Baseline.from_findings(result.baselined).dump(baseline_path)
+        print(f"pruned {dropped} stale entr{'y' if dropped == 1 else 'ies'} "
+              f"from {baseline_path} "
+              f"({len(result.baselined)} kept)")
+        result.stale_baseline = []
 
     if args.write_baseline:
         target = (Path(args.baseline) if args.baseline
@@ -119,6 +146,9 @@ def main(argv: List[str]) -> int:
             "pragma_suppressed": [f.to_json()
                                   for f in result.pragma_suppressed],
             "parse_errors": result.parse_errors,
+            "stale_baseline": [
+                {"rule": rule, "path": path, "code": code}
+                for rule, path, code in result.stale_baseline],
             "ok": result.ok,
         }, indent=2))
     else:

@@ -19,14 +19,15 @@ should be clean or carry a pragma with its justification.
 
 from __future__ import annotations
 
+import ast
 import json
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-__all__ = ["Finding", "Baseline", "parse_pragmas", "suppressed",
-           "match_baseline"]
+__all__ = ["Finding", "Baseline", "parse_pragmas", "statement_spans",
+           "suppressed", "match_baseline"]
 
 #: ``# lint: allow(rule-a, rule-b)`` — also tolerates ``lint:allow``.
 _PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\(([^)]*)\)")
@@ -50,7 +51,32 @@ class Finding:
                 "message": self.message, "code": self.code}
 
 
-def parse_pragmas(source: str) -> Dict[int, Set[str]]:
+def statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Line spans covered by each statement, for pragma attachment.
+
+    Simple statements span their full extent (so a pragma on any
+    continuation line of a multi-line call covers the whole call);
+    compound statements (``if``/``for``/``def``...) span their header
+    only, so a pragma inside a block never blankets the block.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):  # type: ignore[arg-type]
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", start) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body \
+                and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        if end >= start:
+            spans.append((start, end))
+    return spans
+
+
+def parse_pragmas(source: str,
+                  tree: Optional[ast.AST] = None
+                  ) -> Dict[int, Set[str]]:
     """Map line number -> set of rule names allowed on that line.
 
     A pragma covers its own line and the line below it, so both styles
@@ -60,14 +86,24 @@ def parse_pragmas(source: str) -> Dict[int, Set[str]]:
 
         # lint: allow(dict-order)  -- insertion order is build order
         for name, node in self.nodes.items():
+
+    When the module's parsed ``tree`` is supplied, a pragma anywhere
+    inside a multi-line statement additionally covers that whole
+    statement, so findings anchored to the first line of a long call
+    can be suppressed from any of its continuation lines.
     """
     allowed: Dict[int, Set[str]] = {}
+    spans = statement_spans(tree) if tree is not None else []
     for lineno, text in enumerate(source.splitlines(), start=1):
         m = _PRAGMA_RE.search(text)
         if not m:
             continue
         rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-        for target in (lineno, lineno + 1):
+        targets = {lineno, lineno + 1}
+        for start, end in spans:
+            if start <= lineno <= end and end > start:
+                targets.update(range(start, end + 1))
+        for target in targets:
             allowed.setdefault(target, set()).update(rules)
     return allowed
 

@@ -25,6 +25,14 @@ catches up" bug class.  These checks close the loop statically:
     chain never reads ``.epoch``.  Accepting a message from a deposed
     leader without an epoch check is how split-brain sneaks past the
     coordination service (§7.2 of the paper).
+
+``missing-size``
+    A wire call (``req.respond``, ``endpoint.send``,
+    ``endpoint.request``) that omits its ``size=`` argument and
+    silently bills the transport default to the simulated network —
+    the bug class where every reply "weighed" 128 bytes regardless of
+    payload.  Calls that pass ``size`` positionally or forward
+    ``**kwargs`` are exempt.
 """
 
 from __future__ import annotations
@@ -37,7 +45,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from .findings import Finding
 
 __all__ = ["ProtocolSpec", "MessageInfo", "DEFAULT_PROTOCOLS",
-           "check_protocol", "check_protocols"]
+           "check_protocol", "check_protocols", "missing_size_calls"]
 
 PROTOCOL_RULES: Dict[str, str] = {
     "unhandled-message": "message type sent but matched by no "
@@ -46,6 +54,8 @@ PROTOCOL_RULES: Dict[str, str] = {
                     "defining module",
     "stale-epoch": "epoch-carrying message handled without an epoch "
                    "check",
+    "missing-size": "wire call omits its size= argument and bills the "
+                    "transport default to the simulated network",
 }
 
 
@@ -222,6 +232,62 @@ def parse_dispatcher(source: str, path: str) -> DispatcherFacts:
     return facts
 
 
+#: minimum positional-arg count that covers ``size`` positionally
+_TRANSPORT_ARITY = {"respond": 2, "send": 3, "request": 3}
+
+
+def missing_size_calls(source: str, path: str,
+                       catalog: Dict[str, MessageInfo],
+                       proto: str) -> List[Finding]:
+    """Wire calls in one module that omit their ``size=`` argument.
+
+    ``respond`` lives only on request objects, so every receiver
+    counts; ``send``/``request`` are matched only on ``endpoint``
+    receivers (``self.endpoint``, ``node.endpoint``, a bare
+    ``endpoint``) so generator ``.send()`` and the like stay exempt.
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) \
+                or not isinstance(node.func, ast.Attribute):
+            continue
+        meth = node.func.attr
+        arity = _TRANSPORT_ARITY.get(meth)
+        if arity is None:
+            continue
+        if meth in ("send", "request"):
+            base = node.func.value
+            base_name = base.attr if isinstance(base, ast.Attribute) \
+                else base.id if isinstance(base, ast.Name) else ""
+            if base_name != "endpoint":
+                continue
+        if any(kw.arg == "size" or kw.arg is None
+               for kw in node.keywords):
+            continue              # explicit size, or **kwargs forwards it
+        if len(node.args) >= arity:
+            continue              # size passed positionally
+        payload_idx = 0 if meth == "respond" else 1
+        carrying = ""
+        if len(node.args) > payload_idx:
+            arg = node.args[payload_idx]
+            if isinstance(arg, ast.Call):
+                fname = getattr(arg.func, "id",
+                                getattr(arg.func, "attr", None))
+                if fname in catalog:
+                    carrying = f" carrying {fname}"
+        code = ""
+        if 1 <= node.lineno <= len(lines):
+            code = lines[node.lineno - 1].strip()
+        findings.append(Finding(
+            rule="missing-size", path=path, line=node.lineno,
+            message=f"[{proto}] {meth}(){carrying} omits size=: "
+                    f"{PROTOCOL_RULES['missing-size']}",
+            code=code))
+    return findings
+
+
 def _constructed_names(source: str, path: str) -> Set[str]:
     """Class names instantiated anywhere in a module (CamelCase calls)."""
     tree = ast.parse(source, filename=path)
@@ -252,6 +318,7 @@ def check_protocol(spec: ProtocolSpec, root: Path) -> List[Finding]:
         text = (root / rel).read_text(encoding="utf-8")
         dispatcher_facts.append(parse_dispatcher(text, rel))
 
+    findings: List[Finding] = []
     constructed: Set[str] = set()
     reply_types: Set[str] = set()
     for rel in spec.dispatchers + spec.senders:
@@ -261,6 +328,7 @@ def check_protocol(spec: ProtocolSpec, root: Path) -> List[Finding]:
         text = full.read_text(encoding="utf-8")
         constructed |= _constructed_names(text, rel)
         reply_types |= parse_dispatcher(text, rel).return_annotations
+        findings.extend(missing_size_calls(text, rel, catalog, spec.name))
 
     handled: Set[str] = set()
     for facts in dispatcher_facts:
@@ -268,7 +336,6 @@ def check_protocol(spec: ProtocolSpec, root: Path) -> List[Finding]:
 
     components = {name for info in catalog.values() for name in info.embeds}
 
-    findings: List[Finding] = []
     lines = source.splitlines()
 
     def catalog_code(info: MessageInfo) -> str:

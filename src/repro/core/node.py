@@ -289,7 +289,8 @@ class SpinnakerNode:
         self.spawn(self._startup(), "startup")
 
     def _startup(self):
-        yield from self.zk.start()
+        zk = self.zk
+        yield from zk.start()
         # The shared map may have moved while we were down: shed cohorts
         # we no longer belong to, refresh the rest, instantiate empty
         # replicas for new seats (catch-up fills them in).
@@ -302,7 +303,11 @@ class SpinnakerNode:
                 continue
             replica.prepare_restart()
             yield from local_recovery(replica)
-        self.membership = GroupMembership(self.zk, "/nodes", self.name)
+        # Recovery yields; a session loss meanwhile replaced self.zk and
+        # spawned a rejoin that owns the membership from here on.
+        if not self.alive or self.zk is not zk:
+            return
+        self.membership = GroupMembership(zk, "/nodes", self.name)
         yield from self.membership.join()
         self._spawn_monitors()
 
@@ -374,6 +379,10 @@ class SpinnakerNode:
             try:
                 yield from zk.start(
                     rpc_timeout=self.config.session_timeout)
+                # start() yields: a loss of *this* session meanwhile has
+                # already spawned a successor rejoin — defer to it.
+                if not self.alive or self.zk is not zk:
+                    return
                 self.membership = GroupMembership(zk, "/nodes", self.name)
                 yield from self.membership.join()
                 break

@@ -252,12 +252,18 @@ def handle_migration_start(replica, req):
         old_peers = replica.peers()
         replica.block_writes()
         try:
-            while len(replica.queue) > 0:
-                yield timeout(node.sim, 0.002)
+            # Check-first drain: prepare/catch-up above yielded for a
+            # long time, and an empty queue must not skip the leadership
+            # re-check — a deposed leader would otherwise replicate a
+            # membership record it has no right to propose.
+            while True:
                 if not replica.is_leader or not replica.open_for_writes:
                     req.respond({"ok": False, "code": "not-leader",
                                  "hint": replica.leader}, size=64)
                     return
+                if len(replica.queue) == 0:
+                    break
+                yield timeout(node.sim, 0.002)
             record = membership_record(replica, change)
             done = replica._replicate([record])
             yield done
@@ -279,6 +285,9 @@ def handle_migration_start(replica, req):
         yield from _finish_migration(replica, change)
         req.respond({"ok": True, "version": part.version}, size=64)
     finally:
+        # This process owns the flag: the `busy` gate above makes
+        # it the only setter.
+        # lint: allow(write-after-yield-unguarded)
         replica.migrating = False
 
 

@@ -92,7 +92,9 @@ def local_recovery(replica):
     node.trace("catchup", "local recovery",
                cohort=cohort_id, replayed=len(records),
                f_cmt=str(f_cmt))
-    replica.committed_lsn = f_cmt
+    # Merge, don't assign: the replay loop yields, and a concurrent
+    # ingest may have advanced the commit point past our snapshot.
+    replica.committed_lsn = max(replica.committed_lsn, f_cmt)
     # Replayed membership changes re-run the map switch + reconciliation
     # (both idempotent: the shared map refuses non-successor versions).
     for record in records:
@@ -330,6 +332,9 @@ def ingest_catchup(replica, chunk: CatchupChunk):
 # Follower-driven catch-up (§6.1, phase 2)
 # ---------------------------------------------------------------------------
 
+# `leader` is the retry *target*, not a live guard: a deposed
+# addressee rejects the request on epoch mismatch.
+# lint: allow(stale-guard-across-yield)
 def _request_with_retries(replica, leader, payload, size, ctx,
                           rpc_timeout=None):
     """One catch-up RPC with per-chunk timeout + retry with backoff.
@@ -386,6 +391,10 @@ def follower_catchup(replica):
             tracer.finish(ctx.root, ok=ok)
 
 
+# Mid-round uses of `leader` only address RPCs (a deposed peer
+# answers with an epoch error); the final role/leader adoption
+# re-validates the live attributes before acting.
+# lint: allow(stale-guard-across-yield)
 def _catchup_rounds(replica, leader, ctx):
     node, cfg = replica.node, replica.node.config
     tracer = node.request_tracer
@@ -439,6 +448,16 @@ def _catchup_rounds(replica, leader, ctx):
             node.endpoint.send(leader, Ack(cohort_id=replica.cohort_id,
                                            epoch=replica.epoch, lsn=top,
                                            sender=node.name), size=48)
+        # Re-validate before adopting: the rounds above yielded many
+        # times, and an election may have promoted us (or named a
+        # different leader) meanwhile — clobbering that state with a
+        # stale FOLLOWER/leader pair would fork the cohort's view.
+        if replica.role is Role.LEADER or (replica.leader is not None
+                                           and replica.leader != leader):
+            node.trace("catchup", "discarding stale catch-up result",
+                       cohort=replica.cohort_id, against=leader,
+                       leader=replica.leader)
+            return False
         replica.role = Role.FOLLOWER
         replica.set_leader(leader)
         return True
@@ -574,6 +593,9 @@ def leader_takeover(replica):
 
     # Line 10: open the cohort for writes, with fresh LSNs.
     replica.next_seq = max(replica.next_seq, l_lst.seq + 1)
+    # Takeover runs under the leader monitor; deposal interrupts
+    # this process before it can resume.
+    # lint: allow(write-after-yield-unguarded)
     replica.open_for_writes = True
     # Routing hint for clients whose leader cache is cold (the map layer
     # snapshots it; elections and handoffs keep it current).

@@ -1,0 +1,51 @@
+"""Fixture: mutate-while-iterating — live collections mutated across a
+yield inside a loop over themselves.
+
+``drain`` and ``view_loop`` are the hazards; ``snapshot_drain``
+iterates a copy and ``mutate_after`` mutates only once the loop is
+done — both must stay green.
+"""
+
+
+def drain(self):
+    for record in self.queue:             # live iteration
+        yield self.sim.timeout(0.01)
+        self.queue.remove(record)         # mutate-while-iterating
+
+
+def snapshot_drain(self):
+    for record in list(self.queue):       # snapshot: fine
+        yield self.sim.timeout(0.01)
+        self.queue.remove(record)
+
+
+def view_loop(self):
+    # lint: allow(dict-order) -- fixture exercises the atomicity rule
+    for name in self.members.keys():      # dict view is live
+        yield self.sim.timeout(0.01)
+        self.members.pop(name)            # mutate-while-iterating
+
+
+def mutate_after(self):
+    for record in self.queue:
+        yield self.sim.timeout(0.01)
+    self.queue.clear()                    # fine: the loop has ended
+
+
+def suppressed_drain(self):
+    for record in self.queue:
+        yield self.sim.timeout(0.01)
+        # lint: allow(mutate-while-iterating)
+        self.queue.remove(record)
+
+
+def boot(sim, node):
+    spawn(sim, drain(node))
+    spawn(sim, snapshot_drain(node))
+    spawn(sim, view_loop(node))
+    spawn(sim, mutate_after(node))
+    spawn(sim, suppressed_drain(node))
+
+
+def spawn(sim, gen):
+    return gen

@@ -1,0 +1,73 @@
+"""Fixture: stale-guard-across-yield — guard snapshots crossing yields.
+
+``handler``, ``loop_stale``, and ``param_guard`` act on pre-yield
+snapshots; ``revalidated``, ``fresh_reader``, ``commit_loop``, and
+``param_revalidated`` show the blessed re-check idioms and must stay
+green; ``suppressed_handler`` carries a pragma.
+"""
+
+
+def handler(self):
+    epoch = self.epoch                    # snapshot
+    yield self.sim.timeout(0.1)
+    self.commits.append(epoch)            # stale-guard-across-yield
+
+
+def revalidated(self):
+    epoch = self.epoch
+    yield self.sim.timeout(0.1)
+    if self.epoch != epoch:               # re-read refreshes the snapshot
+        return
+    self.commits.append(epoch)            # fine
+
+
+def fresh_reader(self):
+    yield self.sim.timeout(0.1)
+    self.commits.append(self.epoch)       # fine: live read, no snapshot
+
+
+def commit_loop(self):
+    epoch = self.epoch
+    while self.is_leader and self.epoch == epoch:   # fine: test re-reads
+        yield self.force()
+
+
+def loop_stale(self):
+    gen = self.batch_gen                  # snapshot
+    while self.alive:
+        yield self.sim.timeout(0.1)
+        self.restart(gen)                 # stale-guard-across-yield
+
+
+def param_guard(self, epoch):
+    yield self.sim.timeout(0.1)
+    self.seal(epoch)                      # stale-guard-across-yield
+
+
+def param_revalidated(self, epoch):
+    yield self.sim.timeout(0.1)
+    if self.epoch != epoch:               # re-read matches the param name
+        return
+    self.seal(epoch)                      # fine
+
+
+def suppressed_handler(self):
+    term = self.term
+    yield self.sim.timeout(0.1)
+    # lint: allow(stale-guard-across-yield)
+    self.commits.append(term)
+
+
+def boot(sim, node):
+    spawn(sim, handler(node))
+    spawn(sim, revalidated(node))
+    spawn(sim, fresh_reader(node))
+    spawn(sim, commit_loop(node))
+    spawn(sim, loop_stale(node))
+    spawn(sim, param_guard(node, 3))
+    spawn(sim, param_revalidated(node, 3))
+    spawn(sim, suppressed_handler(node))
+
+
+def spawn(sim, gen):
+    return gen

@@ -1,0 +1,47 @@
+"""Fixture: write-after-yield-unguarded — protocol-state writes whose
+dominating guards pre-date the last scheduling point.
+
+``promote`` is the hazard; ``guarded_promote`` re-checks after the
+yield, ``monotonic`` re-reads the written attribute in its own merge,
+and ``counter`` is a read-modify-write — all three must stay green.
+"""
+
+
+def promote(self):
+    if self.is_leader:                    # guard established pre-yield
+        yield self.sim.timeout(0.1)
+        self.open_for_writes = True       # write-after-yield-unguarded
+
+
+def guarded_promote(self):
+    yield self.sim.timeout(0.1)
+    if self.is_leader:                    # re-checked post-yield
+        self.open_for_writes = True       # fine
+
+
+def monotonic(self):
+    yield self.sim.timeout(0.1)
+    self.committed_lsn = max(self.committed_lsn, 7)   # fine: merge
+
+
+def counter(self):
+    yield self.sim.timeout(0.1)
+    self.epoch += 1                       # fine: read-modify-write
+
+
+def suppressed_promote(self):
+    yield self.sim.timeout(0.1)
+    # lint: allow(write-after-yield-unguarded)
+    self.open_for_writes = True
+
+
+def boot(sim, node):
+    spawn(sim, promote(node))
+    spawn(sim, guarded_promote(node))
+    spawn(sim, monotonic(node))
+    spawn(sim, counter(node))
+    spawn(sim, suppressed_promote(node))
+
+
+def spawn(sim, gen):
+    return gen

@@ -1,10 +1,23 @@
 """Synthetic sender for the exhaustiveness-checker tests."""
 
 from .messages import Epochal, Orphan, Part, Ping
+from .messages import Sized
 
 
 def send_all(endpoint):
     endpoint.send("node0", Ping(cohort_id=0,
-                                parts=(Part(key=b"k", value=b"v"),)))
-    endpoint.send("node0", Orphan(cohort_id=0))
-    endpoint.send("node0", Epochal(cohort_id=0, epoch=3))
+                                parts=(Part(key=b"k", value=b"v"),)),
+                  size=96)  # size on a continuation line: not a finding
+    endpoint.send("node0", Orphan(cohort_id=0), size=48)
+    endpoint.send("node0", Epochal(cohort_id=0, epoch=3), size=48)
+
+
+def send_sized(endpoint, gen, opts):
+    # True positive: endpoint send with no size anywhere.
+    endpoint.send("node0", Sized(cohort_id=0, blob=b"x"))
+    # Exempt: size passed positionally.
+    endpoint.send("node0", Sized(cohort_id=0, blob=b"y"), 32)
+    # Exempt: **kwargs may forward size.
+    endpoint.request("node0", Sized(cohort_id=0, blob=b"z"), **opts)
+    # Exempt: generator .send() is not a wire call.
+    gen.send(None)

@@ -46,3 +46,11 @@ class Epochal:
 
     cohort_id: int
     epoch: int
+
+
+@dataclass(frozen=True)
+class Sized:
+    """Handled and sent; used by the missing-size fixture cases."""
+
+    cohort_id: int
+    blob: bytes

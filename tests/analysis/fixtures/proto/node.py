@@ -1,6 +1,7 @@
 """Synthetic dispatcher for the exhaustiveness-checker tests."""
 
 from .messages import Epochal, Ping, Pong
+from .messages import Sized
 
 
 class Node:
@@ -10,6 +11,8 @@ class Node:
             req.respond(self.handle_ping(payload))
         elif isinstance(payload, Epochal):
             self.handle_epochal(payload)
+        elif isinstance(payload, Sized):
+            self.blob = payload.blob
 
     def handle_ping(self, msg: Ping) -> Pong:
         return Pong(cohort_id=msg.cohort_id, ok=True)

@@ -28,6 +28,9 @@ def test_tree_is_lint_clean():
     assert result.parse_errors == []
     assert result.findings == [], "\n".join(
         f.format() for f in result.findings)
+    # Baseline hygiene is part of the gate: entries that no longer
+    # match anything must be pruned, not left to rot.
+    assert result.stale_baseline == [], result.stale_baseline
     assert result.files_checked > 50
 
 

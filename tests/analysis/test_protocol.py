@@ -59,9 +59,34 @@ def test_checker_findings_carry_lines_into_catalog():
     catalog = parse_catalog(
         (FIXTURES / "proto/messages.py").read_text(), "proto/messages.py")
     assert set(catalog) == {"Part", "Ping", "Pong", "Orphan", "Unused",
-                            "Epochal"}
+                            "Epochal", "Sized"}
     assert catalog["Ping"].embeds == {"Part"}
     assert "epoch" in catalog["Epochal"].fields
+
+
+def test_checker_catches_missing_size_calls():
+    by_rule = findings_by_rule(check_protocol(SYNTHETIC, FIXTURES))
+    missing = by_rule.get("missing-size", [])
+    # Exactly two: the dispatcher's bare respond() and the client's
+    # bare Sized send.
+    assert len(missing) == 2, [f.format() for f in missing]
+    assert any(f.path == "proto/node.py" and "respond()" in f.message
+               for f in missing)
+    assert any(f.path == "proto/client.py" and "Sized" in f.message
+               for f in missing)
+
+
+def test_missing_size_exemptions():
+    # Size on a continuation line, positional size, **kwargs
+    # forwarding, and non-endpoint .send() must all stay exempt.
+    by_rule = findings_by_rule(check_protocol(SYNTHETIC, FIXTURES))
+    flagged = {f.line for f in by_rule.get("missing-size", [])
+               if f.path == "proto/client.py"}
+    src = (FIXTURES / "proto/client.py").read_text().splitlines()
+    exempt = [i for i, text in enumerate(src, start=1)
+              if "size=96" in text or ", 32)" in text
+              or "**opts" in text or "gen.send" in text]
+    assert exempt and not flagged & set(exempt)
 
 
 def test_fixing_the_dispatcher_clears_the_finding(tmp_path):

@@ -1,0 +1,195 @@
+"""Runner/CLI matrix: exit codes × pragmas × baseline interactions.
+
+Covers the 0/1/2 exit paths, pragma coverage of multi-line statements,
+mixed baseline + new findings, stale-baseline failure, and
+``--prune-baseline`` rewriting the file back to health.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis import Baseline, run_lint
+from repro.analysis.cli import main as lint_main
+from repro.analysis.findings import parse_pragmas, statement_spans
+
+HAZARD = ("import random\n"
+          "def jitter():\n"
+          "    return random.random()\n")
+
+
+def make_tree(tmp_path: Path, files) -> Path:
+    tree = tmp_path / "tree"
+    tree.mkdir(exist_ok=True)
+    for name, text in files.items():
+        (tree / name).write_text(text)
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# exit codes
+# ---------------------------------------------------------------------------
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    tree = make_tree(tmp_path, {"mod.py": "X = 1\n"})
+    assert lint_main([str(tree), "--no-baseline"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_exit_one_on_new_finding(tmp_path, capsys):
+    tree = make_tree(tmp_path, {"mod.py": HAZARD})
+    assert lint_main([str(tree), "--no-baseline"]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_exit_two_on_missing_path(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_exit_two_on_prune_with_rule_filter(tmp_path, capsys):
+    tree = make_tree(tmp_path, {"mod.py": "X = 1\n"})
+    blpath = tmp_path / "bl.json"
+    Baseline().dump(blpath)
+    rc = lint_main([str(tree), "--baseline", str(blpath),
+                    "--prune-baseline", "--rule", "nondet-import"])
+    assert rc == 2
+    assert "cannot be combined" in capsys.readouterr().err
+
+
+def test_exit_two_on_prune_without_baseline(tmp_path, capsys):
+    tree = make_tree(tmp_path, {"mod.py": "X = 1\n"})
+    rc = lint_main([str(tree), "--no-baseline", "--prune-baseline"])
+    assert rc == 2
+    assert "no baseline file" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# pragmas on multi-line statements
+# ---------------------------------------------------------------------------
+
+def test_statement_spans_cover_multiline_simple_statements():
+    src = "x = f(\n    1,\n    2,\n)\n"
+    assert (1, 4) in statement_spans(ast.parse(src))
+
+
+def test_statement_spans_keep_compound_headers_narrow():
+    src = "if cond:\n    a = 1\n    b = 2\n"
+    spans = statement_spans(ast.parse(src))
+    assert (1, 1) in spans          # the if header only, not the block
+
+
+def test_pragma_on_continuation_line_covers_whole_statement():
+    src = "x = f(\n    1,\n    2,  # lint: allow(foo)\n)\n"
+    pragmas = parse_pragmas(src, ast.parse(src))
+    for line in (1, 2, 3, 4):
+        assert "foo" in pragmas[line]
+
+
+def test_pragma_inside_block_does_not_blanket_the_block():
+    src = ("for item in items:\n"
+           "    a = 1  # lint: allow(foo)\n"
+           "    b = 2\n"
+           "    c = 3\n")
+    pragmas = parse_pragmas(src, ast.parse(src))
+    assert 4 not in pragmas
+
+
+def test_runner_suppresses_finding_via_trailing_pragma(tmp_path):
+    # The stale use anchors at a continuation line; the pragma sits on
+    # the closing line of the same statement — only the statement-span
+    # expansion can connect the two.
+    mod = ("def worker(self):\n"
+           "    epoch = self.epoch\n"
+           "    yield self.sim.timeout(0.1)\n"
+           "    self.apply(\n"
+           "        epoch,\n"
+           "    )  # lint: allow(stale-guard-across-yield)\n"
+           "\n"
+           "def boot(sim, node):\n"
+           "    spawn(sim, worker(node))\n"
+           "\n"
+           "def spawn(sim, gen):\n"
+           "    return gen\n")
+    tree = make_tree(tmp_path, {"mod.py": mod})
+    result = run_lint(tree, protocols=())
+    assert [f.rule for f in result.pragma_suppressed] \
+        == ["stale-guard-across-yield"]
+    assert result.findings == []
+
+
+# ---------------------------------------------------------------------------
+# baseline interactions
+# ---------------------------------------------------------------------------
+
+def test_baseline_plus_new_finding_mix(tmp_path, capsys):
+    tree = make_tree(tmp_path, {"old.py": HAZARD})
+    blpath = tmp_path / "bl.json"
+    Baseline.from_findings(run_lint(tree, protocols=()).findings) \
+        .dump(blpath)
+    # The baselined hazard alone is green.
+    assert lint_main([str(tree), "--baseline", str(blpath)]) == 0
+    capsys.readouterr()
+    # A new hazard still fails, while the old one stays baselined.
+    (tree / "new.py").write_text(HAZARD)
+    rc = lint_main([str(tree), "--baseline", str(blpath)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "new.py" in out and "old.py" not in out.split("baselined")[0]
+
+
+def test_stale_baseline_fails_then_prune_recovers(tmp_path, capsys):
+    tree = make_tree(tmp_path, {"mod.py": HAZARD})
+    baseline = Baseline.from_findings(run_lint(tree,
+                                               protocols=()).findings)
+    baseline.entries[("nondet-import", "gone.py", "import os")] = 1
+    blpath = tmp_path / "bl.json"
+    baseline.dump(blpath)
+
+    rc = lint_main([str(tree), "--baseline", str(blpath)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "stale baseline entry" in out and "gone.py" in out
+
+    rc = lint_main([str(tree), "--baseline", str(blpath),
+                    "--prune-baseline"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "pruned 1 stale entry" in out
+
+    assert lint_main([str(tree), "--baseline", str(blpath)]) == 0
+    entries = Baseline.load(blpath).entries
+    assert ("nondet-import", "gone.py", "import os") not in entries
+    assert entries      # the live findings were kept
+
+
+def test_pragma_suppressed_finding_leaves_baseline_entry_stale(tmp_path):
+    # A pragma'd finding no longer consumes its baseline budget: the
+    # leftover entry must be reported as rot, not silently tolerated.
+    tree = make_tree(tmp_path, {"mod.py": HAZARD})
+    blpath = tmp_path / "bl.json"
+    Baseline.from_findings(run_lint(tree, protocols=()).findings) \
+        .dump(blpath)
+    (tree / "mod.py").write_text(HAZARD.replace(
+        "import random", "import random  # lint: allow(nondet-import)")
+        .replace("return random.random()",
+                 "return random.random()  "
+                 "# lint: allow(nondet-import)"))
+    result = run_lint(tree, baseline_path=blpath, protocols=())
+    assert not result.findings
+    assert result.stale_baseline
+    assert not result.ok
+
+
+def test_rule_filter_judges_only_selected_rules_stale(tmp_path):
+    tree = make_tree(tmp_path, {"mod.py": "X = 1\n"})
+    baseline = Baseline()
+    baseline.entries[("set-iteration", "gone.py", "for x in s:")] = 1
+    blpath = tmp_path / "bl.json"
+    baseline.dump(blpath)
+    # A run restricted to another rule cannot judge the entry stale...
+    restricted = run_lint(tree, baseline_path=blpath, protocols=(),
+                          rules={"nondet-import"})
+    assert restricted.ok
+    # ...but a full run can.
+    full = run_lint(tree, baseline_path=blpath, protocols=())
+    assert not full.ok and full.stale_baseline
