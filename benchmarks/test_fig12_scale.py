@@ -1,0 +1,22 @@
+"""Open-loop scale-out: throughput linearity under fixed per-node load.
+
+Regenerates the north-star scaling experiment via
+:func:`repro.bench.experiments.fig12_scale` and asserts its shape
+checks: completed throughput per node stays flat as the cluster grows,
+nothing is shed at the in-flight cap, and the modeled-user population
+scales with the cluster (1,048,576 users at 512 nodes when run at
+scale 1.0; the bench-smoke tier runs 8 nodes / 2,048 users).
+"""
+
+from repro.bench.experiments import fig12_scale
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig12_scale(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_scale(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -14,6 +14,10 @@
                                  per-phase latency attribution
                                  ([--phases] [--scale S] [--workload W]
                                  [--disk D]); see OBSERVABILITY.md
+``python -m repro profile``    — cProfile a named experiment at small
+                                 scale, print the hot-path report
+                                 ([experiment] [--scale S] [--sort KEY]
+                                 [--limit N])
 """
 
 from __future__ import annotations
@@ -102,6 +106,48 @@ def _chaos(rest) -> int:
     return 1
 
 
+def _profile(rest) -> int:
+    import argparse
+    import cProfile
+    import pstats
+
+    from .bench.experiments import ALL_EXPERIMENTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Run one experiment under cProfile and print the "
+                    "hottest functions.  Defaults to a small scale: the "
+                    "hot paths are the same as at full scale (the same "
+                    "code runs, just fewer times), so profiling stays "
+                    "cheap enough to iterate on.")
+    parser.add_argument("experiment", nargs="?", default="fig9",
+                        help="experiment id (see 'python -m repro'); "
+                             "default fig9, the write path")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="experiment scale (default 0.05, the "
+                             "bench-smoke tier)")
+    parser.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"],
+                        help="stat to sort the report by")
+    parser.add_argument("--limit", type=int, default=25,
+                        help="rows to print (default 25)")
+    args = parser.parse_args(rest)
+    fn = ALL_EXPERIMENTS.get(args.experiment)
+    if fn is None:
+        print(f"unknown experiment {args.experiment!r}; "
+              f"choices: {', '.join(ALL_EXPERIMENTS)}")
+        return 2
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = fn(scale=args.scale)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    print(f"profiled {args.experiment} at scale {args.scale}: "
+          f"shape {'OK' if result.passed else 'MISMATCH'}")
+    return 0
+
+
 def main(argv) -> int:
     if not argv:
         _overview()
@@ -121,8 +167,10 @@ def main(argv) -> int:
     if command == "trace":
         from .obs.cli import main as trace_main
         return trace_main(rest)
+    if command == "profile":
+        return _profile(rest)
     print(f"unknown command {command!r}; try 'bench', 'demo', 'chaos', "
-          f"'lint' or 'trace'")
+          f"'lint', 'trace' or 'profile'")
     return 2
 
 

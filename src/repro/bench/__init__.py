@@ -5,6 +5,8 @@ from .workload import (Workload, VALUE_SIZE, conditional_put_workload,
                        mixed_workload, read_workload, write_workload)
 from .harness import (CassandraTarget, LoadPoint, SpinnakerTarget,
                       run_load, sweep)
+from .openloop import (BurstyArrivals, DiurnalArrivals, MuxedUsers,
+                       OpenLoadPoint, PoissonArrivals, run_open_load)
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from .report import render
 
@@ -13,5 +15,7 @@ __all__ = [
     "read_workload", "write_workload", "mixed_workload",
     "conditional_put_workload",
     "SpinnakerTarget", "CassandraTarget", "LoadPoint", "run_load", "sweep",
+    "PoissonArrivals", "BurstyArrivals", "DiurnalArrivals",
+    "MuxedUsers", "OpenLoadPoint", "run_open_load",
     "ALL_EXPERIMENTS", "ExperimentResult", "render",
 ]

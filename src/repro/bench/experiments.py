@@ -22,13 +22,15 @@ from ..core.rebalance import Rebalancer, plan_join
 from ..sim.disk import DiskProfile
 from ..sim.process import spawn
 from .harness import CassandraTarget, LoadPoint, SpinnakerTarget, run_load
+from .openloop import PoissonArrivals, run_open_load
 from .workload import (VALUE_SIZE, conditional_put_workload, mixed_workload,
                        read_workload, write_workload)
 
 __all__ = [
     "ExperimentResult",
     "fig8_read_latency", "fig9_write_latency", "table1_recovery",
-    "fig11_scaling", "fig11_elastic", "fig12_mixed", "fig13_ssd",
+    "fig11_scaling", "fig11_elastic", "fig12_mixed", "fig12_scale",
+    "fig13_ssd",
     "fig14_conditional_put", "fig_recovery",
     "fig15_weak_writes", "fig16_memory_log",
     "ablation_parallel_propose", "ablation_group_commit",
@@ -103,6 +105,13 @@ PHASE_PROBES: Dict[str, Callable[..., Dict[str, dict]]] = {
         n_nodes=n_nodes, seed=seed),
     "fig16": lambda seed=1, n_nodes=10: _phase_probe(
         spin_cfg=SpinnakerConfig(log_profile=DiskProfile.memory_log()),
+        n_nodes=n_nodes, seed=seed),
+    # Same mixed workload as the open-loop scale sweep, at probe size:
+    # per-phase attribution is per-request and size-invariant, so the
+    # small traced cluster explains where the big sweep's latency goes.
+    "fig12-scale": lambda seed=1, n_nodes=10: _phase_probe(
+        spin_cfg=SpinnakerConfig(log_profile=DiskProfile.ssd_log()),
+        workload=mixed_workload(0.2, "strong"),
         n_nodes=n_nodes, seed=seed),
 }
 
@@ -393,6 +402,82 @@ def fig12_mixed(scale: float = 1.0, seed: int = 1,
     result.checks["gap_narrows_or_flips_at_high_write_pct"] = (
         (cass[high] - spin[high]) / spin[high]
         < (cass[low] - spin[low]) / spin[low])
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Open-loop scale-out (north-star experiment, beyond the paper)
+# ---------------------------------------------------------------------------
+
+def fig12_scale(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Open-loop throughput scaling: node count swept to 512 under a
+    fixed *per-node* Poisson offered load with ~2K modeled users per
+    node (1,048,576 users at 512 nodes).
+
+    The paper stops at 80 nodes with closed-loop clients (Fig. 11);
+    this experiment pushes the repo's north-star claim — Spinnaker's
+    per-cohort replication has no cluster-wide coordination on the data
+    path, so completed throughput per node should stay flat as the
+    cluster grows.  Open-loop arrivals (see :mod:`repro.bench.openloop`)
+    keep the offered load independent of completions, so a node-count-
+    dependent slowdown would surface as shed arrivals and rising
+    latency rather than a silently self-throttled client loop.
+    """
+    if scale >= 1.0:
+        sizes = [64, 128, 256, 512]
+        users_per_node = 2048
+    elif scale >= 0.2:
+        sizes = [16, 32, 64]
+        users_per_node = 512
+    else:               # bench-smoke tier
+        sizes = [8]
+        users_per_node = 256
+    per_node_rate = 30.0       # offered ops/sec per node, below the knee
+    duration, warmup = 3.0, 1.0
+    result = ExperimentResult(
+        "fig12-scale", "Open-loop throughput scaling to 512 nodes")
+    rows = []
+    for n in sizes:
+        cfg = SpinnakerConfig(log_profile=DiskProfile.ssd_log())
+        target = SpinnakerTarget(n, config=cfg, seed=seed)
+        point = run_open_load(
+            target, mixed_workload(0.2, "strong"),
+            n_users=n * users_per_node, rate=n * per_node_rate,
+            duration=duration, warmup=warmup,
+            arrivals=PoissonArrivals, shards=max(4, n // 8), seed=seed)
+        rows.append({
+            "nodes": n, "users": point.n_users,
+            "active_users": point.active_users,
+            "offered_per_s": point.offered_rate,
+            "observed_offered_per_s": round(point.observed_offered, 1),
+            "throughput": round(point.throughput, 1),
+            "per_node_throughput": round(point.throughput / n, 2),
+            "mean_ms": round(point.mean_ms, 3),
+            "p50_ms": round(point.p50_ms, 3),
+            "p95_ms": round(point.p95_ms, 3),
+            "p99_ms": round(point.p99_ms, 3),
+            "ops": point.ops, "errors": point.errors, "shed": point.shed,
+            "user_state_mib": round(point.user_state_bytes / 2 ** 20, 2),
+        })
+    result.series["spinnaker-open-loop"] = rows
+    per_node = [r["per_node_throughput"] for r in rows]
+    ratio = max(per_node) / min(per_node) if min(per_node) > 0 else 1e9
+    result.checks["throughput_linear"] = ratio < 1.25
+    result.checks["no_overload_shedding"] = all(
+        r["shed"] <= max(1, 0.01 * r["offered_per_s"] * duration)
+        for r in rows)
+    result.checks["latency_flat_across_sizes"] = (
+        max(r["p95_ms"] for r in rows)
+        / max(min(r["p95_ms"] for r in rows), 1e-9) < 2.0)
+    result.checks["users_modeled"] = (
+        rows[-1]["users"] >= sizes[-1] * users_per_node)
+    result.notes = (
+        f"per-node throughput {min(per_node):.1f}-{max(per_node):.1f} "
+        f"ops/s across {sizes[0]}-{sizes[-1]} nodes "
+        f"(max/min {ratio:.3f}); {rows[-1]['users']:,} modeled users at "
+        f"{sizes[-1]} nodes in {rows[-1]['user_state_mib']} MiB of "
+        f"per-user state")
+    result.phases = PHASE_PROBES["fig12-scale"](seed=seed)
     return result
 
 
@@ -1061,6 +1146,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig11-elastic": fig11_elastic,
     "fig-recovery": fig_recovery,
     "fig12": fig12_mixed,
+    "fig12-scale": fig12_scale,
     "fig13": fig13_ssd,
     "fig14": fig14_conditional_put,
     "fig15": fig15_weak_writes,

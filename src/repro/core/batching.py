@@ -72,7 +72,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..sim.events import _Entry
 from ..storage.records import WriteRecord
 
 __all__ = ["ProposalBatcher", "chunk_groups"]
@@ -122,7 +121,8 @@ class ProposalBatcher:
         self._buffered_records = 0
         self._buffered_bytes = 0
         self._inflight_forces = 0
-        self._window: Optional[_Entry] = None
+        #: pending batch-window timer (a Simulator.schedule handle)
+        self._window: Optional[list] = None
         self._gen = 0
         # counters (surfaced in cluster stats / benchmarks)
         self.batches_sent = 0

@@ -3,9 +3,26 @@
 This module provides the scheduler (:class:`Simulator`) and the basic
 one-shot :class:`Event` primitive that everything else in :mod:`repro.sim`
 is built on.  The design follows the classic event-heap pattern (similar in
-spirit to SimPy): the simulator owns a priority queue of ``(time, priority,
-sequence, callback)`` entries and executes them in timestamp order.  Time is
+spirit to SimPy): the simulator owns a priority queue of ``[time, priority,
+sequence, callback]`` entries and executes them in timestamp order.  Time is
 a float measured in **seconds** of simulated time.
+
+Hot path
+--------
+Every simulated message, disk force, and process resume passes through
+this heap, so the entry representation is chosen for speed (see
+DESIGN.md, "Kernel hot paths"):
+
+* entries are plain 4-element **lists**, not objects — no per-event
+  allocation of a wrapper class, and ``heapq`` compares them with C-level
+  list comparison instead of a Python ``__lt__`` call.  The comparison
+  never reaches the callback element because the sequence number (index
+  2) is unique per entry;
+* cancellation is **lazy**: :meth:`Simulator.cancel` nulls the callback
+  slot and the entry is skipped when it surfaces at the top of the heap,
+  instead of churning the heap structure;
+* :meth:`Simulator.run` drives the heap with method references hoisted
+  into locals.
 
 Determinism
 -----------
@@ -17,7 +34,7 @@ iteration is used anywhere in the kernel.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional
 
 __all__ = [
@@ -36,6 +53,10 @@ URGENT = 0
 #: Default priority for user-scheduled callbacks.
 NORMAL = 1
 
+#: Heap-entry layout: ``[time, priority, seq, callback]``.  A cancelled
+#: entry has ``callback`` set to None and is skipped lazily on pop.
+_TIME, _PRIORITY, _SEQ, _CALLBACK = 0, 1, 2, 3
+
 
 class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
@@ -47,24 +68,6 @@ class StopSimulation(Exception):
     def __init__(self, value: Any = None):
         super().__init__(value)
         self.value = value
-
-
-class _Entry:
-    """A scheduled callback.  ``cancelled`` entries are skipped lazily."""
-
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
-
-    def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[[], None]):
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
-
-    def __lt__(self, other: "_Entry") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time, other.priority, other.seq)
 
 
 class Simulator:
@@ -79,7 +82,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[_Entry] = []
+        self._heap: List[list] = []
         self._seq: int = 0
         self._running = False
 
@@ -92,43 +95,54 @@ class Simulator:
         return self._now
 
     def schedule(self, delay: float, callback: Callable[[], None],
-                 priority: int = NORMAL) -> _Entry:
+                 priority: int = NORMAL) -> list:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
-        Returns a handle whose :meth:`cancel` removes the callback if it has
-        not yet fired.
+        Returns a handle accepted by :meth:`cancel`, which removes the
+        callback if it has not yet fired.
         """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.call_at(self._now + delay, callback, priority)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay, priority, seq, callback]
+        heappush(self._heap, entry)
+        return entry
 
     def call_at(self, time: float, callback: Callable[[], None],
-                priority: int = NORMAL) -> _Entry:
+                priority: int = NORMAL) -> list:
         """Schedule ``callback`` at absolute simulated ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past ({time} < {self._now})")
-        entry = _Entry(time, priority, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, priority, seq, callback]
+        heappush(self._heap, entry)
         return entry
 
     @staticmethod
-    def cancel(entry: _Entry) -> None:
-        """Cancel a scheduled entry (no-op if it already ran)."""
-        entry.cancelled = True
+    def cancel(entry: list) -> None:
+        """Cancel a scheduled entry (no-op if it already ran).
+
+        Lazy deletion: the heap entry stays in place with its callback
+        nulled and is discarded when it reaches the top.
+        """
+        entry[_CALLBACK] = None
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the next pending callback.  Returns False when idle."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is None:
                 continue
-            self._now = entry.time
-            entry.callback()
+            self._now = entry[_TIME]
+            callback()
             return True
         return False
 
@@ -138,13 +152,26 @@ class Simulator:
         When ``until`` is given, simulated time is advanced to exactly
         ``until`` even if the last event fired earlier.
         """
+        heap = self._heap
+        pop = heappop
         self._running = True
         try:
-            while self._heap:
-                entry = self._heap[0]
-                if until is not None and entry.time > until:
-                    break
-                self.step()
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is not None:
+                        self._now = entry[_TIME]
+                        callback()
+            else:
+                while heap:
+                    if heap[0][_TIME] > until:
+                        break
+                    entry = pop(heap)
+                    callback = entry[_CALLBACK]
+                    if callback is not None:
+                        self._now = entry[_TIME]
+                        callback()
         except StopSimulation:
             pass
         finally:
@@ -226,23 +253,28 @@ class Event:
 
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
-        self._trigger(True, value)
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        callbacks = self._callbacks
+        self._callbacks = None
+        for cb in callbacks or ():
+            cb(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         if not isinstance(exc, BaseException):
             raise SimulationError(f"fail() needs an exception, got {exc!r}")
-        self._trigger(False, exc)
-        return self
-
-    def _trigger(self, ok: bool, value: Any) -> None:
         if self._ok is not None:
             raise SimulationError("event already triggered")
-        self._ok = ok
-        self._value = value
-        callbacks, self._callbacks = self._callbacks, None
+        self._ok = False
+        self._value = exc
+        callbacks = self._callbacks
+        self._callbacks = None
         for cb in callbacks or ():
             cb(self)
+        return self
 
     # -- waiting ----------------------------------------------------------
     def add_callback(self, callback: Callable[["Event"], None]) -> None:

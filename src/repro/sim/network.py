@@ -186,24 +186,36 @@ class Network:
 
     # -- transmission -----------------------------------------------------
     def _transmit(self, env: _Envelope) -> None:
+        """Send one envelope.  This runs once per simulated message, so
+        the fault-injection checks are guarded by container emptiness
+        tests: a healthy network (no partitions, no lossy/slow links —
+        the common case) pays no frozenset or dict-lookup cost per
+        message.  The RNG draw order is unchanged: the drop-rate draw
+        happens only when a rate is configured for the pair, exactly as
+        the unguarded lookups did."""
         self.messages_sent += 1
         src_ep = self._endpoints.get(env.src)
         if src_ep is None or not src_ep.alive:
             self.messages_dropped += 1
             return
-        if self.is_blocked(env.src, env.dst):
+        if ((self._blocked or self._blocked_oneway)
+                and self.is_blocked(env.src, env.dst)):
             self.messages_dropped += 1
             return
-        rate = self._drop_rates.get((env.src, env.dst))
-        if rate and self._rng.random() < rate:
-            self.messages_dropped += 1
-            return
-        delay = (self.latency.delay(env.size, self._rng) + self.extra_delay
-                 + self._extra_delays.get((env.src, env.dst), 0.0))
+        if self._drop_rates:
+            rate = self._drop_rates.get((env.src, env.dst))
+            if rate and self._rng.random() < rate:
+                self.messages_dropped += 1
+                return
+        delay = self.latency.delay(env.size, self._rng) + self.extra_delay
+        if self._extra_delays:
+            delay += self._extra_delays.get((env.src, env.dst), 0.0)
         arrival = self.sim.now + delay
         # FIFO per ordered pair: never deliver before an earlier message.
         key = (env.src, env.dst)
-        arrival = max(arrival, self._last_delivery.get(key, 0.0))
+        last = self._last_delivery.get(key)
+        if last is not None and last > arrival:
+            arrival = last
         self._last_delivery[key] = arrival
         self.sim.call_at(arrival, lambda: self._deliver(env))
 

@@ -16,13 +16,35 @@ Example::
     proc = Process(sim, writer(sim, disk))
     sim.run()
     assert proc.ok
+
+Hot path
+--------
+``yield timeout(sim, dt)`` is by far the most common scheduling idiom
+(every CPU charge, sleep, and retry backoff), so it is special-cased
+end to end (see DESIGN.md, "Kernel hot paths"):
+
+* :class:`Timeout` pushes its heap entry directly (no ``Event`` →
+  ``Simulator.schedule`` indirection, no per-timeout closure) and stores
+  its value up front;
+* when a :class:`Process` yields a pending Timeout that nothing else is
+  watching, it registers itself as the Timeout's single *waiter* instead
+  of appending to the callback list; the fire path then resumes the
+  generator directly.  The waiter resume keeps the exact semantics of
+  the callback path: the identity check against ``self._target`` ignores
+  stale wake-ups after an interrupt, and callbacks added after the
+  hijack (e.g. a second process yielding the same Timeout) still run, in
+  registration order, after the waiter.
+
+Neither shortcut changes simulated timestamps, priorities, or sequence
+numbers, so traces are bit-identical with the straightforward path.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Generator, Iterable, List, Optional
 
-from .events import Event, SimulationError, Simulator, URGENT
+from .events import NORMAL, URGENT, Event, SimulationError, Simulator
 
 __all__ = [
     "Process",
@@ -57,17 +79,68 @@ class ProcessKilled(SimulationError):
 class Timeout(Event):
     """An event that succeeds after a fixed delay."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_waiter")
 
     def __init__(self, sim: Simulator, delay: float, value: Any = None):
-        super().__init__(sim)
-        self._entry = sim.schedule(delay, lambda: self.succeed(value))
+        # Inlined Event.__init__ + Simulator.schedule: this constructor
+        # runs once per simulated sleep/CPU charge, and the wrapper
+        # calls plus the per-timeout trigger closure are measurable at
+        # that volume.  The entry layout and seq ordering are identical
+        # to Simulator.schedule's.
+        self.sim = sim
+        self._ok: Optional[bool] = None
+        self._value = value
+        self._callbacks: Optional[list] = []
+        self._defused = False
+        self._waiter: Optional["Process"] = None
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        seq = sim._seq
+        sim._seq = seq + 1
+        self._entry = entry = [sim._now + delay, NORMAL, seq, self._fire]
+        heappush(sim._heap, entry)
+
+    def _fire(self) -> None:
+        """Trigger from the heap: succeed, waking the waiter first."""
+        if self._ok is not None:
+            return  # already triggered explicitly (e.g. succeed())
+        self._ok = True
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            # Stale wake-up check, same as Process._on_target: if the
+            # process was interrupted away from us, leave it alone.
+            if waiter._target is self:
+                waiter._target = None
+                waiter._step(self._value, None, None)
+        callbacks = self._callbacks
+        self._callbacks = None
+        for cb in callbacks or ():
+            cb(self)
+
+    # Explicit (non-heap) triggering is rare for Timeouts; convert the
+    # fast-path waiter back into an ordinary first callback so the
+    # waiter-first wake order matches _fire's.
+    def _flush_waiter(self) -> None:
+        waiter = self._waiter
+        if waiter is not None:
+            self._waiter = None
+            if self._callbacks is not None:
+                self._callbacks.insert(0, waiter._on_target)
+
+    def succeed(self, value: Any = None) -> "Event":
+        self._flush_waiter()
+        return Event.succeed(self, value)
+
+    def fail(self, exc: BaseException) -> "Event":
+        self._flush_waiter()
+        return Event.fail(self, exc)
 
 
 class Process(Event):
     """Drives a generator, treating each yielded value as an event."""
 
-    __slots__ = ("_gen", "_target", "name")
+    __slots__ = ("_gen", "_send", "_throw", "_target", "name")
 
     def __init__(self, sim: Simulator, gen: Generator[Event, Any, Any],
                  name: str = ""):
@@ -75,6 +148,8 @@ class Process(Event):
         if not hasattr(gen, "send"):
             raise SimulationError(f"Process needs a generator, got {gen!r}")
         self._gen = gen
+        self._send = gen.send      # bound-method cache for the step loop
+        self._throw = gen.throw
         self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
         # Start the process at the current time, but via the heap so that
@@ -116,17 +191,18 @@ class Process(Event):
     def _step(self, value: Any, exc: Optional[BaseException],
               detached: Optional[Event]) -> None:
         """Advance the generator by one yield."""
-        if self.triggered:
+        if self._ok is not None:
             return
         # ``detached`` is the event we abandoned due to an interrupt; we
-        # must ignore its eventual trigger, which _on_target handles via
-        # the identity check on self._target.
+        # must ignore its eventual trigger, which _on_target (and the
+        # Timeout waiter fast path) handle via the identity check on
+        # self._target.
         del detached
         try:
             if exc is None:
-                target = self._gen.send(value)
+                target = self._send(value)
             else:
-                target = self._gen.throw(exc)
+                target = self._throw(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -137,7 +213,15 @@ class Process(Event):
         except BaseException as err:  # noqa: BLE001 - propagate into event
             self.fail(err)
             return
-        if not isinstance(target, Event):
+        if type(target) is Timeout:
+            # Fast path: a pending, unwatched Timeout resumes us straight
+            # from its fire callback — no callback-list round trip.
+            if (target._ok is None and target._waiter is None
+                    and not target._callbacks):
+                self._target = target
+                target._waiter = self
+                return
+        elif not isinstance(target, Event):
             self._gen.close()
             self.fail(SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"))

@@ -128,3 +128,35 @@ def test_timeout_value_passthrough():
     proc = spawn(sim, worker())
     sim.run()
     assert proc.result() == {"payload": 1}
+
+
+def test_run_until_does_not_overshoot_past_cancelled_head():
+    """A cancelled entry at the top of the heap must not let run(until)
+    execute an event scheduled *beyond* the bound (regression: the old
+    loop peeked only the head's time, then popped past the cancelled
+    entry and ran whatever came next, ending with now > until)."""
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(0.5, lambda: fired.append("cancelled"))
+    sim.schedule(2.0, lambda: fired.append("late"))
+    sim.cancel(handle)
+    sim.run(until=1.0)
+    assert fired == []
+    assert sim.now == 1.0
+    sim.run()
+    assert fired == ["late"]
+    assert sim.now == 2.0
+
+
+def test_cancelled_entries_are_skipped_lazily():
+    """Cancellation nulls the callback in place; a later run() skips the
+    dead entries without disturbing the order of live ones."""
+    sim = Simulator()
+    order = []
+    handles = [sim.schedule(float(i), lambda i=i: order.append(i))
+               for i in range(6)]
+    for i in (0, 2, 4):
+        sim.cancel(handles[i])
+    sim.cancel(handles[2])  # double-cancel is a no-op
+    sim.run()
+    assert order == [1, 3, 5]
