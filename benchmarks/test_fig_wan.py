@@ -1,0 +1,24 @@
+"""WAN frontier (beyond the paper): latency vs consistency across
+three datacenters with ~25 ms one-way WAN links.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig_wan`,
+prints the measured latency rows, and asserts the shape checks:
+cross-DC quorum writes pay at least one WAN RTT, local-quorum writes
+and nearest-replica timeline reads stay under it, leases don't flap
+through a merely-degraded WAN link, writes survive a whole-DC
+partition, and the invariant audit plus strong-history check come back
+clean.
+"""
+
+from repro.bench.experiments import fig_wan
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig_wan(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig_wan(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -85,13 +85,20 @@ def _chaos(rest) -> int:
                         help="MTTF budget (mean seconds between faults)")
     parser.add_argument("--mean-repair", type=float, default=1.5,
                         help="MTTR budget (mean outage seconds)")
+    parser.add_argument("--dcs", type=int, default=1,
+                        help="datacenters to spread the cluster over "
+                             "(>1 adds WAN links, DC-spread replica "
+                             "placement, and DC-level fault kinds)")
+    parser.add_argument("--wan-one-way", type=float, default=0.02,
+                        help="base one-way WAN propagation delay (s)")
     parser.add_argument("--shrink", action="store_true",
                         help="on violation, minimize the schedule and "
                              "print a regression test")
     args = parser.parse_args(rest)
     config = ChaosConfig(n_nodes=args.nodes, duration=args.duration,
                          mean_fault_gap=args.mean_fault_gap,
-                         mean_repair=args.mean_repair)
+                         mean_repair=args.mean_repair,
+                         n_dcs=args.dcs, wan_one_way=args.wan_one_way)
     report = run_chaos(args.seed, config)
     print(report.format())
     if report.ok:

@@ -15,12 +15,16 @@ from typing import Callable, Dict, List, Optional
 
 from ..baseline import CassandraConfig
 from ..chaos.invariants import InvariantAuditor
+from ..chaos.nemesis import FaultEvent, arm_schedule
 from ..core import SpinnakerCluster, SpinnakerConfig
-from ..core.datamodel import RequestTimeout
+from ..core.checker import HistoryRecorder, check_strong_history
+from ..core.datamodel import DatastoreError, RequestTimeout
 from ..core.partition import key_of
 from ..core.rebalance import Rebalancer, plan_join
 from ..sim.disk import DiskProfile
-from ..sim.process import spawn
+from ..sim.metrics import Histogram
+from ..sim.process import spawn, timeout
+from ..sim.topology import Topology
 from .harness import CassandraTarget, LoadPoint, SpinnakerTarget, run_load
 from .openloop import PoissonArrivals, run_open_load
 from .workload import (VALUE_SIZE, conditional_put_workload, mixed_workload,
@@ -31,7 +35,7 @@ __all__ = [
     "fig8_read_latency", "fig9_write_latency", "table1_recovery",
     "fig11_scaling", "fig11_elastic", "fig12_mixed", "fig12_scale",
     "fig13_ssd",
-    "fig14_conditional_put", "fig_recovery",
+    "fig14_conditional_put", "fig_recovery", "fig_wan",
     "fig15_weak_writes", "fig16_memory_log",
     "ablation_parallel_propose", "ablation_group_commit",
     "ablation_piggyback_commits", "ablation_skewed_reads",
@@ -1137,6 +1141,252 @@ def fig_recovery(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
     return result
 
 
+# ---------------------------------------------------------------------------
+# fig-wan: multi-datacenter latency/consistency frontier
+# ---------------------------------------------------------------------------
+
+def _wan_topology(n_nodes: int, n_dcs: int = 3, wan_one_way: float = 0.025,
+                  asymmetry: float = 0.25) -> Topology:
+    """A realistic 3-DC WAN: ~25 ms one-way base propagation with a
+    deterministic per-direction skew (routes are asymmetric), nodes
+    placed round-robin across datacenters."""
+    delays = {}
+    for i in range(n_dcs):
+        for j in range(n_dcs):
+            if i == j:
+                continue
+            skew = ((3 * i + j) % 4) / 3.0
+            delays[(f"dc{i}", f"dc{j}")] = (
+                wan_one_way * (1.0 + asymmetry * skew))
+    topo = Topology(wan_one_way=wan_one_way, wan_delays=delays,
+                    preferred_dc="dc0")
+    for i in range(n_nodes):
+        topo.place(f"node{i}", f"dc{i % n_dcs}")
+    return topo
+
+
+def _wan_cluster(seed: int, placement: str, n_nodes: int = 9):
+    topo = _wan_topology(n_nodes)
+    cfg = SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
+                          commit_period=0.25)
+    cluster = SpinnakerCluster(n_nodes=n_nodes, config=cfg, seed=seed,
+                               topology=topo, placement=placement)
+    cluster.start()
+    return cluster, topo
+
+
+def _wan_keys(cluster, topo: Topology, dc: str, count: int,
+              prefix: bytes = b"wan") -> List[bytes]:
+    """Deterministic keys whose cohort leader currently sits in ``dc``
+    (so client → leader is a LAN hop and the measured latency isolates
+    the replication path)."""
+    keys: List[bytes] = []
+    i = 0
+    while len(keys) < count and i < 4096:
+        key = b"%s-%d" % (prefix, i)
+        cohort = cluster.partitioner.cohort_for_key(key_of(key))
+        leader = cluster.leader_of(cohort.cohort_id)
+        if leader is not None and topo.dc_of(leader) == dc:
+            keys.append(key)
+        i += 1
+    return keys
+
+
+def _wan_client(cluster, topo: Topology, name: str, dc: str):
+    topo.place(name, dc)
+    return cluster.client(name)
+
+
+def _op_loop(cluster, client, op, keys: List[bytes], count: int,
+             pace: float, hist: Histogram, failures: List[int]):
+    for i in range(count):
+        start = cluster.sim.now
+        try:
+            yield from op(client, keys[i % len(keys)], i)
+        except DatastoreError:
+            failures[0] += 1
+        else:
+            hist.add(cluster.sim.now - start)
+        yield timeout(cluster.sim, pace)
+
+
+def _timed_phase(cluster, client, op, keys: List[bytes], count: int,
+                 pace: float):
+    """Drive ``count`` paced ops to completion; (Histogram, failures)."""
+    hist = Histogram()
+    failures = [0]
+    proc = spawn(cluster.sim,
+                 _op_loop(cluster, client, op, keys, count, pace,
+                          hist, failures),
+                 name=f"wan-ops-{client.name}")
+    cluster.run_until(lambda: proc.triggered,
+                      limit=count * (pace + 5.0) + 30.0,
+                      what=f"wan ops via {client.name}")
+    return hist, failures[0]
+
+
+def _lat_row(hist: Histogram, failures: int, **extra) -> dict:
+    row = {
+        "count": hist.count,
+        "mean_ms": round(hist.mean() * 1e3, 3) if hist.count else 0.0,
+        "p50_ms": (round(hist.percentile(50) * 1e3, 3)
+                   if hist.count else 0.0),
+        "p95_ms": (round(hist.percentile(95) * 1e3, 3)
+                   if hist.count else 0.0),
+        "failures": failures,
+    }
+    row.update(extra)
+    return row
+
+
+def fig_wan(scale: float = 1.0, seed: int = 1) -> ExperimentResult:
+    """Beyond the paper: the multi-datacenter latency/consistency
+    frontier (3 DCs, ~25 ms one-way WAN links, asymmetric routes).
+
+    Strong writes whose replicas are spread one-per-DC pay at least one
+    WAN round trip per commit (the quorum ack must cross a WAN link);
+    pinning the quorum's majority inside the client's datacenter
+    ("local" placement) buys LAN-latency strong writes at the cost of a
+    whole-DC failure forcing a cross-DC failover; timeline reads served
+    by the client's nearest replica stay well under one WAN RTT from a
+    remote DC.  A chaos coda then (a) degrades a WAN link by less than
+    the lease margin — sessions must not flap — and (b) partitions a
+    whole datacenter — writes keep committing on the surviving
+    majority — under invariant audit and a strong-history check.
+    """
+    n_ops = max(10, int(round(60 * scale)))
+    n_keys = max(4, int(round(12 * scale)))
+    pace = 0.05
+    result = ExperimentResult(
+        "fig-wan", "WAN latency/consistency frontier (3 datacenters)")
+
+    def put(client, key, i):
+        return (yield from client.put(key, b"c", b"w%d" % i))
+
+    def timeline_get(client, key, i):
+        return (yield from client.get(key, b"c", consistent=False))
+
+    # -- cross-DC quorum writes + timeline reads (spread placement) -----
+    cluster, topo = _wan_cluster(seed, "spread")
+    wan_floor_ms = topo.min_wan_rtt() * 1e3
+    keys = _wan_keys(cluster, topo, "dc0", n_keys)
+    writer = _wan_client(cluster, topo, "wan-w0", "dc0")
+    cross_hist, cross_fail = _timed_phase(
+        cluster, writer, put, keys, n_ops, pace)
+    cluster.run(1.0)   # let commits propagate to the remote followers
+    reader = _wan_client(cluster, topo, "wan-r1", "dc1")
+    tl_hist, tl_fail = _timed_phase(
+        cluster, reader, timeline_get, keys, n_ops, pace)
+    cross_row = _lat_row(cross_hist, cross_fail,
+                         placement="spread", client_dc="dc0")
+    tl_row = _lat_row(tl_hist, tl_fail,
+                      placement="spread", client_dc="dc1")
+    result.series["cross-dc-quorum-writes"] = [cross_row]
+    result.series["timeline-reads"] = [tl_row]
+
+    # -- chaos coda on the spread cluster -------------------------------
+    sim = cluster.sim
+    recorder = HistoryRecorder()
+    auditor = InvariantAuditor(cluster)
+    coda_ops = int(round(4.5 / pace))
+    spawn(sim, auditor.run(0.25, until=sim.now + 12.0), name="wan-auditor")
+
+    coda_w = _wan_client(cluster, topo, "wan-coda-w", "dc0")
+    coda_r = _wan_client(cluster, topo, "wan-coda-r", "dc0")
+    # Fresh keys: the recorded history must contain every write whose
+    # version a recorded read can observe, or the checker rightly
+    # flags versions appearing from nowhere.
+    coda_keys = _wan_keys(cluster, topo, "dc0", n_keys, prefix=b"coda")
+
+    def rec_put(client, key, i):
+        start = sim.now
+        try:
+            res = yield from client.put(key, b"c", b"x%d" % i)
+        except DatastoreError:
+            recorder.record_write(key, start, sim.now, 0, ok=False)
+            raise
+        recorder.record_write(key, start, sim.now, res.version)
+
+    def rec_get(client, key, i):
+        start = sim.now
+        got = yield from client.get(key, b"c", consistent=True)
+        recorder.record_read(key, start, sim.now, got.version)
+
+    w_hist, r_hist = Histogram(), Histogram()
+    w_fail, r_fail = [0], [0]
+    wproc = spawn(sim, _op_loop(cluster, coda_w, rec_put, coda_keys,
+                                coda_ops, pace, w_hist, w_fail),
+                  name="wan-coda-w")
+    rproc = spawn(sim, _op_loop(cluster, coda_r, rec_get, coda_keys,
+                                coda_ops, pace, r_hist, r_fail),
+                  name="wan-coda-r")
+
+    losses_before = sum(n.session_losses
+                        for n in cluster.nodes.values())
+    # (a) a merely-slow WAN link: +10 ms one-way, far below the lease
+    # margin — heartbeats must ride it out without a session flap
+    log = arm_schedule(cluster, [FaultEvent(
+        at=0.1, kind="wan-degrade", duration=1.5, a="dc0", b="dc1",
+        extra=0.010)])
+    cluster.run(2.0)
+    degrade_losses = (sum(n.session_losses
+                          for n in cluster.nodes.values())
+                      - losses_before)
+    # (b) a whole datacenter drops off the map; the measured cohorts
+    # (leader dc0, follower dc1) keep their commit quorum throughout
+    arm_schedule(cluster, [FaultEvent(
+        at=0.2, kind="partition-dc", duration=1.5, a="dc2")], log)
+    cluster.run_until(lambda: wproc.triggered and rproc.triggered,
+                      limit=90.0, what="wan chaos coda")
+    cluster.run_until(cluster.is_ready, limit=60.0,
+                      what="post-coda recovery")
+    cluster.run(1.0)
+    auditor.final_audit()
+    history_violations = check_strong_history(recorder)
+    result.series["chaos-coda"] = [{
+        "writes_acked": w_hist.count,
+        "write_failures": w_fail[0],
+        "strong_reads": r_hist.count,
+        "read_failures": r_fail[0],
+        "session_flaps_under_degrade": degrade_losses,
+        "invariant_violations": len(auditor.violations),
+        "history_violations": len(history_violations),
+        "faults": len(log),
+    }]
+
+    # -- local-quorum writes (majority pinned in the client's DC) -------
+    cluster2, topo2 = _wan_cluster(seed + 1, "local")
+    keys2 = _wan_keys(cluster2, topo2, "dc0", n_keys)
+    writer2 = _wan_client(cluster2, topo2, "wan-w0", "dc0")
+    local_hist, local_fail = _timed_phase(
+        cluster2, writer2, put, keys2, n_ops, pace)
+    local_row = _lat_row(local_hist, local_fail,
+                         placement="local", client_dc="dc0")
+    result.series["local-quorum-writes"] = [local_row]
+
+    result.checks["cross_dc_writes_pay_wan_rtt"] = (
+        cross_hist.count > 0 and cross_row["p50_ms"] >= wan_floor_ms)
+    result.checks["local_writes_below_wan_rtt"] = (
+        local_hist.count > 0 and local_row["p95_ms"] < wan_floor_ms)
+    result.checks["timeline_reads_below_wan_rtt"] = (
+        tl_hist.count > 0 and tl_row["p95_ms"] < wan_floor_ms)
+    result.checks["measure_ops_clean"] = (
+        cross_fail == 0 and tl_fail == 0 and local_fail == 0)
+    result.checks["no_lease_flap_under_degrade"] = degrade_losses == 0
+    result.checks["writes_survive_dc_partition"] = (
+        w_fail[0] == 0 and w_hist.count > 0)
+    result.checks["auditor_clean"] = not auditor.violations
+    result.checks["history_clean"] = not history_violations
+    result.notes = (
+        f"min WAN RTT {wan_floor_ms:.1f} ms; strong writes "
+        f"cross-DC p50={cross_row['p50_ms']:.1f} ms vs local-quorum "
+        f"p50={local_row['p50_ms']:.1f} ms; timeline reads from dc1 "
+        f"p95={tl_row['p95_ms']:.1f} ms; coda: {w_hist.count} writes "
+        f"through WAN degrade + dc2 partition, "
+        f"{degrade_losses} session flaps")
+    return result
+
+
 #: registry used by the CLI report and the benchmark suite
 ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig8": fig8_read_latency,
@@ -1145,6 +1395,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig11": fig11_scaling,
     "fig11-elastic": fig11_elastic,
     "fig-recovery": fig_recovery,
+    "fig-wan": fig_wan,
     "fig12": fig12_mixed,
     "fig12-scale": fig12_scale,
     "fig13": fig13_ssd,

@@ -6,7 +6,8 @@ shape-check verdicts; EXPERIMENTS.md records a full-scale run.
 ``--json`` additionally writes full machine-readable results for
 downstream tooling; ``--report`` writes the compact per-experiment
 summary (``BENCH_report.json`` at the repo root) that successive PRs
-diff to track performance.  Experiments with a phase probe
+diff to track performance — naming a subset of experiments splices
+them into an existing same-scale report instead of replacing it.  Experiments with a phase probe
 (``PHASE_PROBES``) embed a ``phases`` section — per-phase latency
 attribution from ``repro.obs`` (see OBSERVABILITY.md); ``--refresh-phases
 FILE`` re-runs only the probes and rewrites the ``phases`` sections of
@@ -80,12 +81,29 @@ def summarize(result: ExperimentResult) -> dict:
 
 
 def write_bench_report(results: List[ExperimentResult], path: str,
-                       scale: float) -> None:
-    """Write the cross-PR perf-tracking summary (``BENCH_report.json``)."""
+                       scale: float, merge: bool = False) -> None:
+    """Write the cross-PR perf-tracking summary (``BENCH_report.json``).
+
+    With ``merge=True`` (a subset run) the named experiments are spliced
+    into the existing report instead of replacing it, so re-running one
+    experiment doesn't discard the rest — but only when the scales
+    match; a scale change invalidates the old numbers, so the file is
+    rewritten from just this run.
+    """
     payload = {
         "scale": scale,
         "experiments": {r.exp_id: summarize(r) for r in results},
     }
+    if merge:
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+        if existing is not None and existing.get("scale") == scale:
+            merged = dict(existing.get("experiments", {}))
+            merged.update(payload["experiments"])
+            payload["experiments"] = merged
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -190,6 +208,7 @@ def main(argv: List[str]) -> int:
         print(f"refreshed phases of {', '.join(refreshed)} "
               f"in {refresh_path}")
         return 0
+    subset = bool(names)
     if not names:
         names = list(ALL_EXPERIMENTS)
     status = 0
@@ -214,7 +233,7 @@ def main(argv: List[str]) -> int:
                       indent=2)
         print(f"wrote {json_path}")
     if report_path is not None:
-        write_bench_report(results, report_path, scale)
+        write_bench_report(results, report_path, scale, merge=subset)
         print(f"wrote {report_path}")
     return status
 

@@ -19,12 +19,12 @@ on the deterministic simulation kernel — so ``python -m repro chaos
 from .catchup import (CATCHUP_SCENARIOS, CatchupChaosResult,
                       run_catchup_chaos)
 from .invariants import InvariantAuditor, InvariantViolation
-from .nemesis import (ChaosConfig, ChaosReport, FaultEvent,
+from .nemesis import (ChaosConfig, ChaosReport, FaultEvent, arm_schedule,
                       generate_schedule, replay_schedule, run_chaos)
 from .shrinker import ddmin, format_regression_test, shrink_run
 
 __all__ = [
-    "ChaosConfig", "ChaosReport", "FaultEvent",
+    "ChaosConfig", "ChaosReport", "FaultEvent", "arm_schedule",
     "generate_schedule", "run_chaos", "replay_schedule",
     "CATCHUP_SCENARIOS", "CatchupChaosResult", "run_catchup_chaos",
     "InvariantAuditor", "InvariantViolation",

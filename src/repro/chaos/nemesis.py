@@ -41,12 +41,19 @@ from ..sim.process import spawn, timeout
 from ..sim.rng import RngRegistry
 from .invariants import InvariantAuditor, InvariantViolation
 
-__all__ = ["FaultEvent", "ChaosConfig", "ChaosReport",
+__all__ = ["FaultEvent", "ChaosConfig", "ChaosReport", "arm_schedule",
            "generate_schedule", "run_chaos", "replay_schedule"]
 
-#: Fault kinds the nemesis knows how to inject.
+#: Fault kinds the nemesis knows how to inject.  The first seven are
+#: topology-oblivious; the DC-level kinds (whole-datacenter partition,
+#: WAN-link degradation) fire only on clusters built with a
+#: :class:`~repro.sim.topology.Topology` (``ChaosConfig.n_dcs > 1``).
 FAULT_KINDS = ("crash-leader", "crash-node", "lose-disk", "partition",
-               "partition-oneway", "drop-burst", "latency-spike")
+               "partition-oneway", "drop-burst", "latency-spike",
+               "partition-dc", "wan-degrade")
+#: the topology-oblivious prefix of FAULT_KINDS (flat-network schedules
+#: draw only from these, keeping pre-topology seeds bit-identical)
+_FLAT_KINDS = FAULT_KINDS[:7]
 
 
 @dataclass(frozen=True)
@@ -66,10 +73,10 @@ class FaultEvent:
     duration: float = 0.0
     cohort: int = -1          # crash-leader: which cohort's leader
     node: str = ""            # crash-node / lose-disk victim
-    a: str = ""               # link faults: ordered endpoints
-    b: str = ""
+    a: str = ""               # link faults: ordered endpoints;
+    b: str = ""               # DC faults: datacenter names
     rate: float = 0.0         # drop-burst probability
-    extra: float = 0.0        # latency-spike additional delay (seconds)
+    extra: float = 0.0        # latency-spike / wan-degrade extra delay (s)
     fast_detect: bool = True  # expire the victim's session immediately
 
     def describe(self) -> str:
@@ -94,6 +101,11 @@ class FaultEvent:
         if self.kind == "latency-spike":
             return (f"latency-spike +{self.extra * 1e3:.1f}ms "
                     f"for {self.duration:.2f}s")
+        if self.kind == "partition-dc":
+            return f"partition-dc {self.a} for {self.duration:.2f}s"
+        if self.kind == "wan-degrade":
+            return (f"wan-degrade {self.a}>{self.b} "
+                    f"+{self.extra * 1e3:.1f}ms for {self.duration:.2f}s")
         return f"{self.kind}?"
 
 
@@ -117,8 +129,23 @@ class ChaosConfig:
     #: replica's entire history; more than one risks legitimately
     #: exceeding the paper's f=1 fault budget)
     max_disk_losses: int = 1
-    #: relative weights of each fault kind, in FAULT_KINDS order
+    #: relative weights of the topology-oblivious fault kinds, in
+    #: FAULT_KINDS order (the DC-level kinds have their own knob)
     weights: Tuple[float, ...] = (3.0, 3.0, 0.6, 1.5, 1.0, 1.2, 1.2)
+    # -- topology (multi-datacenter runs) -------------------------------
+    #: build the cluster across this many datacenters (1 = flat network,
+    #: bit-identical to pre-topology schedules); nodes are placed
+    #: round-robin (node i -> dc{i % n_dcs}) and replicas spread so
+    #: every cohort spans as many DCs as the replication factor allows
+    n_dcs: int = 1
+    #: base one-way WAN propagation delay between datacenters
+    wan_one_way: float = 0.02
+    #: fractional per-direction skew applied deterministically per
+    #: ordered DC pair (asymmetric routes)
+    wan_asymmetry: float = 0.25
+    #: relative weights of (partition-dc, wan-degrade), appended to
+    #: ``weights`` when ``n_dcs > 1``
+    dc_fault_weights: Tuple[float, float] = (1.5, 1.0)
     # -- workload -------------------------------------------------------
     writers: int = 2
     readers: int = 2
@@ -135,6 +162,36 @@ class ChaosConfig:
         return SpinnakerConfig(log_profile=DiskProfile.ssd_log(),
                                commit_period=self.commit_period,
                                client_op_timeout=self.client_op_timeout)
+
+    def dc_names(self) -> List[str]:
+        return [f"dc{i}" for i in range(self.n_dcs)]
+
+    def topology(self):
+        """The cluster topology this config describes, or None for a
+        flat (single-DC) run.  Per-direction WAN delays are skewed
+        deterministically from the pair's indices, so the same config
+        always produces the same asymmetric delay matrix."""
+        if self.n_dcs <= 1:
+            return None
+        from ..sim.topology import Topology
+        delays = {}
+        for i in range(self.n_dcs):
+            for j in range(self.n_dcs):
+                if i == j:
+                    continue
+                skew = ((3 * i + j) % 4) / 3.0   # 0, 1/3, 2/3, 1
+                delays[(f"dc{i}", f"dc{j}")] = (
+                    self.wan_one_way * (1.0 + self.wan_asymmetry * skew))
+        topo = Topology(wan_one_way=self.wan_one_way, wan_delays=delays,
+                        preferred_dc="dc0")
+        for i in range(self.n_nodes):
+            topo.place(f"node{i}", f"dc{i % self.n_dcs}")
+        return topo
+
+    def placement(self) -> str:
+        """Replica-placement policy for the cluster build: spread
+        cohorts across datacenters whenever there is more than one."""
+        return "spread" if self.n_dcs > 1 else "ring"
 
 
 # ---------------------------------------------------------------------------
@@ -156,9 +213,17 @@ def generate_schedule(seed: int, config: ChaosConfig) -> List[FaultEvent]:
     def overlaps_outage(lo: float, hi: float) -> bool:
         return any(lo < w_hi and w_lo < hi for w_lo, w_hi in outage_windows)
 
+    kinds: Tuple[str, ...] = _FLAT_KINDS
+    weights: Tuple[float, ...] = tuple(config.weights)
+    if config.n_dcs > 1:
+        # DC-level kinds join the pool only for placed clusters; flat
+        # configs draw from the same (kinds, weights) as always, so
+        # pre-topology seeds reproduce their schedules bit-identically.
+        kinds = kinds + FAULT_KINDS[7:]
+        weights = weights + tuple(config.dc_fault_weights)
     t = 0.5 + rng.random()
     while t < config.duration:
-        kind = rng.choices(FAULT_KINDS, weights=config.weights)[0]
+        kind = rng.choices(kinds, weights=weights)[0]
         dur = min(config.max_repair,
                   0.2 + rng.expovariate(1.0 / config.mean_repair))
         if kind == "lose-disk":
@@ -195,6 +260,15 @@ def generate_schedule(seed: int, config: ChaosConfig) -> List[FaultEvent]:
         elif kind == "latency-spike":
             events.append(FaultEvent(at=t, kind=kind, duration=dur,
                                      extra=0.003 + 0.04 * rng.random()))
+        elif kind == "partition-dc":
+            dc = rng.choice(config.dc_names())
+            outage_windows.append((t, t + dur))
+            events.append(FaultEvent(at=t, kind=kind, duration=dur, a=dc))
+        elif kind == "wan-degrade":
+            dc_a, dc_b = rng.sample(config.dc_names(), 2)
+            events.append(FaultEvent(at=t, kind=kind, duration=dur,
+                                     a=dc_a, b=dc_b,
+                                     extra=0.005 + 0.03 * rng.random()))
         t += 0.15 + rng.expovariate(1.0 / config.mean_fault_gap)
     return events
 
@@ -275,8 +349,11 @@ class _Applier:
             arrow = "|" if symmetric else ">"
             self._note(f"partition {ev.a}{arrow}{ev.b} "
                        f"for {ev.duration:.2f}s")
+            # Heal exactly what we blocked: a one-way block heals one
+            # way, so an overlapping reverse block keeps its own life.
             cluster.sim.schedule(
-                ev.duration, lambda: self._heal(ev.a, ev.b, arrow))
+                ev.duration,
+                lambda: self._heal(ev.a, ev.b, arrow, symmetric))
         elif ev.kind == "drop-burst":
             net.set_drop_rate(ev.a, ev.b, ev.rate)
             self._note(f"drop-burst {ev.a}~{ev.b} p={ev.rate:.2f} "
@@ -289,12 +366,65 @@ class _Applier:
                        f"for {ev.duration:.2f}s")
             cluster.sim.schedule(
                 ev.duration, lambda: self._end_spike(ev.extra))
+        elif ev.kind == "partition-dc":
+            if net.topology is None:
+                self._note("partition-dc: no topology, skipped")
+                return
+            inside, outside = self._split_by_dc(ev.a)
+            pairs = [(a, b) for a in inside for b in outside]
+            for a, b in pairs:
+                net.block(a, b)
+            self._note(f"partition-dc {ev.a}: isolated {len(inside)} "
+                       f"endpoints for {ev.duration:.2f}s")
+            cluster.sim.schedule(
+                ev.duration, lambda: self._heal_dc(ev.a, pairs))
+        elif ev.kind == "wan-degrade":
+            if net.topology is None:
+                self._note("wan-degrade: no topology, skipped")
+                return
+            pairs = self._wan_pairs(ev.a, ev.b)
+            for a, b in pairs:
+                net.set_extra_delay(a, b, ev.extra, symmetric=False)
+            self._note(f"wan-degrade {ev.a}>{ev.b} "
+                       f"+{ev.extra * 1e3:.1f}ms "
+                       f"for {ev.duration:.2f}s")
+            cluster.sim.schedule(
+                ev.duration, lambda: self._end_degrade(ev.a, ev.b, pairs))
         else:
             self._note(f"unknown fault kind {ev.kind!r}, skipped")
 
-    def _heal(self, a: str, b: str, arrow: str) -> None:
-        self.cluster.network.heal(a, b)
+    def _split_by_dc(self, dc: str):
+        """(endpoints in ``dc``, endpoints elsewhere), sorted by name."""
+        topo = self.cluster.network.topology
+        inside, outside = [], []
+        for name in sorted(self.cluster.network._endpoints):
+            (inside if topo.dc_of(name) == dc else outside).append(name)
+        return inside, outside
+
+    def _wan_pairs(self, dc_a: str, dc_b: str):
+        """Every ordered endpoint pair on the ``dc_a`` → ``dc_b`` WAN
+        direction (one direction only: routes degrade asymmetrically)."""
+        topo = self.cluster.network.topology
+        names = sorted(self.cluster.network._endpoints)
+        a_side = [n for n in names if topo.dc_of(n) == dc_a]
+        b_side = [n for n in names if topo.dc_of(n) == dc_b]
+        return [(a, b) for a in a_side for b in b_side]
+
+    def _heal(self, a: str, b: str, arrow: str,
+              symmetric: bool = True) -> None:
+        self.cluster.network.heal(a, b, symmetric=symmetric)
         self._note(f"healed {a}{arrow}{b}")
+
+    def _heal_dc(self, dc: str, pairs) -> None:
+        for a, b in pairs:
+            self.cluster.network.heal(a, b)
+        self._note(f"healed partition-dc {dc}")
+
+    def _end_degrade(self, dc_a: str, dc_b: str, pairs) -> None:
+        for a, b in pairs:
+            self.cluster.network.set_extra_delay(a, b, 0.0,
+                                                 symmetric=False)
+        self._note(f"wan-degrade {dc_a}>{dc_b} ended")
 
     def _end_drop(self, a: str, b: str) -> None:
         self.cluster.network.set_drop_rate(a, b, 0.0)
@@ -304,6 +434,18 @@ class _Applier:
         net = self.cluster.network
         net.extra_delay = max(0.0, net.extra_delay - extra)
         self._note(f"latency-spike -{extra * 1e3:.1f}ms ended")
+
+
+def arm_schedule(cluster: SpinnakerCluster, schedule: List[FaultEvent],
+                 log: Optional[List[str]] = None) -> List[str]:
+    """Arm an explicit fault schedule against an already-running
+    cluster (relative to ``sim.now``) and return the fault log it will
+    append to.  This is the hook for experiments that want a scripted
+    chaos coda without the full :func:`run_chaos` harness."""
+    if log is None:
+        log = []
+    _Applier(cluster, schedule, log).arm()
+    return log
 
 
 # ---------------------------------------------------------------------------
@@ -469,7 +611,9 @@ def run_chaos(seed: int, config: Optional[ChaosConfig] = None,
         schedule = generate_schedule(seed, config)
     cluster = SpinnakerCluster(n_nodes=config.n_nodes,
                                config=config.spinnaker_config(),
-                               seed=seed)
+                               seed=seed,
+                               topology=config.topology(),
+                               placement=config.placement())
     cluster.start()
     sim = cluster.sim
     storm_end = sim.now + config.duration
@@ -522,6 +666,8 @@ def run_chaos(seed: int, config: Optional[ChaosConfig] = None,
         "stale_replies": sum(ep.stale_replies for ep in
                              cluster.network._endpoints.values()),
         "audit_ticks": auditor.ticks,
+        "session_losses": sum(node.session_losses
+                              for node in cluster.nodes.values()),
     }
     return ChaosReport(
         seed=seed, config=config, schedule=list(schedule),

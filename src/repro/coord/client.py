@@ -110,26 +110,43 @@ class CoordClient:
     def _heartbeat_loop(self):
         from ..sim.process import Interrupt
         interval = self.session_timeout / 3.0
+        # Heartbeat RPC budget: the interval plus a round-trip
+        # allowance from the network's latency model.  The allowance
+        # matters when the coordination service sits across a WAN link:
+        # with a bare ``timeout=interval`` an ack that is merely slow
+        # (RTT approaching the interval) is discarded as an RpcTimeout,
+        # ``last_ack`` goes stale, and a perfectly healthy leader flaps
+        # through lease step-down.  The allowance is clamped to a sixth
+        # of the session timeout so the safety argument below survives:
+        # acks older than that cannot extend the lease anyway.
+        rtt_allowance = min(self.endpoint.network.rtt_bound(64),
+                            self.session_timeout / 6.0)
         # Local lease deadline: the server expires us ``session_timeout``
-        # after the last heartbeat it *received*, which is no earlier
-        # than our last ack.  Declaring the session lost at half the
-        # timeout therefore always beats server-side expiry — a deposed
-        # leader steps down before a rival can be elected.
+        # after the last heartbeat it *received*.  That arrival is never
+        # earlier than the moment we *sent* the heartbeat, so the lease
+        # is anchored at the send time of the last acked heartbeat —
+        # anchoring at the ack's arrival instead would fold the reply's
+        # WAN flight into the measured gap and flap a healthy lease at
+        # steady RTTs above a sixth of the session timeout.  Declaring
+        # the session lost at half the timeout still beats server-side
+        # expiry — a deposed leader steps down before a rival is
+        # electable.
         deadline = self.session_timeout / 2.0
         try:
             while True:
                 yield timeout(self.sim, interval)
+                sent_at = self.sim.now
                 try:
                     reply = yield self.endpoint.request(
                         self.service,
                         {"op": "heartbeat", "session": self.session},
-                        size=48, timeout=interval)
+                        size=48, timeout=interval + rtt_allowance)
                 except RpcTimeout:
                     reply = None
                 if isinstance(reply, dict) and reply.get("ok"):
                     # Lease bookkeeping: monotonic, sole writer.
                     # lint: allow(write-after-yield-unguarded)
-                    self.last_ack = self.sim.now
+                    self.last_ack = sent_at
                 elif isinstance(reply, dict):
                     self._session_lost()      # server: session expired
                     return

@@ -24,9 +24,13 @@ leader cache, and walks one request through these transitions until an
 
 ``send -> ok``                 cache target as leader (strong ops), done.
 ``send -> RpcTimeout``         rotate to the next member (strong) or a
-                               random non-timed-out replica (timeline).
+                               random non-timed-out replica (timeline;
+                               same-DC replicas preferred on a placed
+                               network).
 ``send -> not-leader/unavailable``  follow the ``hint`` if given, else
-                               rotate; backoff ``client_retry_backoff``.
+                               rotate; jittered exponential backoff
+                               (``client_retry_backoff`` doubling up to
+                               ``client_retry_backoff_cap``).
 ``send -> wrong-node``         the replier holds no replica for the key:
                                drop a poisoned leader-cache entry, fetch
                                a fresh map when the reply advertises a
@@ -99,6 +103,17 @@ class SpinnakerClient:
         self.partitioner = partitioner
         self.config = config
         self.endpoint: Endpoint = network.endpoint(name)
+        self._topology = network.topology
+        # Per-try budgets derive from the network's round-trip bound:
+        # the configured floors (LAN-scale: 2.0s / 1.0s) dominate on a
+        # flat network, while a WAN topology raises them so a healthy
+        # slow link is never misread as a timeout (a hardcoded 1.0s
+        # here once made every cross-DC map refresh a retry storm).
+        rtt = network.rtt_bound()
+        self._per_try = max(config.client_try_timeout,
+                            config.client_rtt_multiplier * rtt)
+        self._map_timeout = max(config.client_map_timeout,
+                                config.client_rtt_multiplier * rtt)
         self._rng = rng.stream(f"client:{name}")
         self._map: CohortMap = partitioner.snapshot()
         self._leader_cache: Dict[int, str] = {}
@@ -235,7 +250,13 @@ class SpinnakerClient:
         """A random replica; ``exclude`` (a member name or a collection
         of them) drops replicas that just timed out so retries cannot
         keep hammering crashed nodes.  Falls back to the full member
-        list if exclusion would leave nobody."""
+        list if exclusion would leave nobody.
+
+        On a placed network, nearest-replica routing: replicas in this
+        client's own datacenter are preferred (timeline reads tolerate
+        staleness, so they never need to cross the WAN when a local
+        copy exists — the latency side of the §3 consistency menu).
+        """
         members = cohort.members
         if exclude:
             if isinstance(exclude, str):
@@ -243,14 +264,21 @@ class SpinnakerClient:
             alive = [m for m in members if m not in exclude]
             if alive:
                 members = alive
+        if self._topology is not None:
+            my_dc = self._topology.dc_of(self.name)
+            local = [m for m in members
+                     if self._topology.dc_of(m) == my_dc]
+            if local:
+                members = local
         return self._rng.choice(members)
 
     def _refresh_map(self, source: str):
         """Fetch a newer routing snapshot from ``source`` (which just
         told us ours is stale).  ``yield from`` me; True on upgrade."""
         try:
-            reply = yield self.endpoint.request(source, GetCohortMap(),
-                                                size=64, timeout=1.0)
+            reply = yield self.endpoint.request(
+                source, GetCohortMap(), size=64,
+                timeout=self._map_timeout)
         except RpcTimeout:
             return False
         if not (isinstance(reply, dict) and reply.get("ok")):
@@ -326,7 +354,7 @@ class SpinnakerClient:
             if remaining <= 0 or attempt > cfg.client_max_retries:
                 raise RequestTimeout(
                     f"{type(msg).__name__} gave up after {attempt} tries")
-            per_try = min(remaining, 2.0)
+            per_try = min(remaining, self._per_try)
             if ctx is not None:
                 ctx.last_sent_at = self.sim.now
             try:
@@ -365,7 +393,7 @@ class SpinnakerClient:
                               else self._timeline_target(cohort))
                 else:
                     target = self._next_target(cohort, target)
-                yield timeout(self.sim, cfg.client_retry_backoff)
+                yield timeout(self.sim, self._backoff(attempt, deadline))
                 continue
             if code in ("not-leader", "unavailable"):
                 attempt += 1
@@ -378,6 +406,25 @@ class SpinnakerClient:
                     # No hint: rotate — re-asking the same non-leader
                     # would just burn the op deadline.
                     target = self._next_target(cohort, target)
-                yield timeout(self.sim, cfg.client_retry_backoff)
+                yield timeout(self.sim, self._backoff(attempt, deadline))
                 continue
             raise DatastoreError(f"unexpected error {code!r}")
+
+    def _backoff(self, attempt: int, deadline: float) -> float:
+        """Jittered exponential backoff for retry ``attempt`` (1-based),
+        clamped to the op deadline.
+
+        The first few attempts stay at the base step — routine, brief
+        unavailability (a migration draining writes, a leader handoff)
+        should be ridden out at full pace, not slept through.  Persistent
+        failure then doubles the step up to ``client_retry_backoff_cap``.
+        Equal-jitter in ``[step/2, step]``: bounded below so a retry
+        always makes progress, randomized above so clients that all
+        failed at the same instant (a healed whole-DC partition) do not
+        re-arrive as a synchronized thundering herd.
+        """
+        cfg = self.config
+        step = min(cfg.client_retry_backoff * (2.0 ** max(attempt - 4, 0)),
+                   cfg.client_retry_backoff_cap)
+        wait = step * (0.5 + 0.5 * self._rng.random())
+        return max(0.0, min(wait, deadline - self.sim.now))

@@ -32,11 +32,18 @@ class SpinnakerCluster:
                  seed: int = 0,
                  node_names: Optional[List[str]] = None,
                  latency: Optional[LatencyModel] = None,
+                 topology=None, placement: str = "ring",
                  tracer=None, request_tracer=None):
         self.config = (config or SpinnakerConfig()).validate()
         self.sim = Simulator()
         self.rng = RngRegistry(seed)
-        self.network = Network(self.sim, self.rng, latency)
+        #: optional :class:`~repro.sim.topology.Topology` giving every
+        #: endpoint a (dc, rack) placement; ``placement`` picks the
+        #: replica-placement policy ("ring" | "spread" | "local" — see
+        #: ``RangePartitioner``)
+        self.topology = topology
+        self.network = Network(self.sim, self.rng, latency,
+                               topology=topology)
         self.coord = CoordinationService(self.sim, self.network)
         self.tracer = tracer if tracer is not None else NullTracer()
         if getattr(self.tracer, "sim", False) is None:
@@ -50,7 +57,7 @@ class SpinnakerCluster:
                   else key_of)
         self.partitioner = RangePartitioner(
             names, replication_factor=self.config.replication_factor,
-            key_mapper=mapper)
+            key_mapper=mapper, topology=topology, placement=placement)
         self.nodes: Dict[str, SpinnakerNode] = {
             name: SpinnakerNode(self.sim, self.network, self.rng, name,
                                 self.partitioner, self.config,

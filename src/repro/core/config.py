@@ -111,7 +111,25 @@ class SpinnakerConfig:
     # -- client ---------------------------------------------------------
     client_op_timeout: float = 10.0
     client_max_retries: int = 8
+    #: base retry backoff; after a few base-pace attempts, retry *k*
+    #: waits a jittered exponential ``~backoff * 2**(k-4)`` capped by
+    #: ``client_retry_backoff_cap`` (and by the remaining op deadline) —
+    #: jitter de-synchronizes the retry herd that forms when a
+    #: partition heals (see SpinnakerClient._backoff)
     client_retry_backoff: float = 0.02
+    #: ceiling on the exponential step — low enough that a client
+    #: sleeping through a brief outage (a leaderless migration window,
+    #: a healed partition) notices recovery promptly
+    client_retry_backoff_cap: float = 0.1
+    #: per-try RPC timeout floor; the effective budget is
+    #: ``max(floor, client_rtt_multiplier * network.rtt_bound())`` so
+    #: WAN-scale round trips never read as spurious RpcTimeouts
+    client_try_timeout: float = 2.0
+    #: map-refresh (GetCohortMap) RPC timeout floor, scaled the same way
+    client_map_timeout: float = 1.0
+    #: how many worst-case round trips one try is allowed to take
+    #: (covers queueing at a loaded leader on top of the wire time)
+    client_rtt_multiplier: float = 4.0
 
     def validate(self) -> "SpinnakerConfig":
         if self.replication_factor < 1:
@@ -134,6 +152,17 @@ class SpinnakerConfig:
             raise ValueError("catchup_chunk_retries must be >= 0")
         if self.catchup_retry_backoff < 0:
             raise ValueError("catchup_retry_backoff must be >= 0")
+        if self.client_retry_backoff <= 0:
+            raise ValueError("client_retry_backoff must be positive")
+        if not (self.client_retry_backoff <= self.client_retry_backoff_cap
+                <= self.client_op_timeout):
+            raise ValueError("need client_retry_backoff <= "
+                             "client_retry_backoff_cap <= "
+                             "client_op_timeout")
+        if self.client_try_timeout <= 0 or self.client_map_timeout <= 0:
+            raise ValueError("client timeout floors must be positive")
+        if self.client_rtt_multiplier < 1:
+            raise ValueError("client_rtt_multiplier must be >= 1")
         return self
 
     @property

@@ -28,6 +28,7 @@ from ..sim.process import timeout
 from ..storage.lsn import LSN
 from ..coord.znode import (BadVersionError, CoordError, NoNodeError,
                            NodeExistsError)
+from .partition import preference_order
 from .recovery import leader_takeover
 from .replication import Role
 
@@ -79,9 +80,13 @@ def run_election(replica):
         # that when every candidate ties on n.lst (bootstrap, preloaded
         # clusters) the sequence-number tie-break resolves to the
         # base-range owner (Fig. 2), spreading leadership one cohort per
-        # node.  Pure timing bias — whenever logs differ the max-n.lst
-        # rule dominates regardless of announcement order.
-        position = replica.cohort.members.index(node.name)
+        # node.  On a placed topology with a preferred (client-majority)
+        # datacenter, preference_order puts that DC's replicas first so
+        # bootstrap leadership lands next to the clients.  Pure timing
+        # bias — whenever logs differ the max-n.lst rule dominates.
+        order = preference_order(replica.cohort.members,
+                                 node.network.topology)
+        position = order.index(node.name)
         if position and replica.candidate_path is None:
             yield timeout(sim, 0.04 * position)
         n_lst = node.n_lst(replica.cohort_id)

@@ -27,8 +27,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["KeyRange", "Cohort", "CohortMap", "MembershipChange",
-           "RangePartitioner", "key_of", "MEMBERSHIP_KEY",
-           "INTERNAL_KEY_PREFIX"]
+           "RangePartitioner", "key_of", "preference_order",
+           "MEMBERSHIP_KEY", "INTERNAL_KEY_PREFIX"]
 
 KEYSPACE = 1 << 32
 
@@ -136,6 +136,25 @@ class MembershipChange:
             old_members=tuple(obj.get("old_members", ())))
 
 
+def preference_order(members: Sequence[str], topology) -> Tuple[str, ...]:
+    """Leader-preference order for a cohort's members.
+
+    With a placed topology that names a ``preferred_dc`` (the
+    datacenter hosting the client majority), replicas in that DC come
+    first — the election's announce stagger follows this order, so at
+    bootstrap (when every candidate ties on n.lst) leadership lands
+    next to the clients and strong writes start from the cheap side of
+    the WAN.  Ties keep member order; without a topology this is the
+    member tuple unchanged (bit-identical flat behavior).  Pure timing
+    bias: whenever logs differ, the max-n.lst rule dominates.
+    """
+    if topology is None or topology.preferred_dc is None:
+        return tuple(members)
+    preferred = topology.preferred_dc
+    return tuple(sorted(members,
+                        key=lambda m: topology.dc_of(m) != preferred))
+
+
 def _index_for_key(cohorts: Sequence[Cohort], keyspace: int,
                    key: int) -> int:
     """Index (position, not id) of the cohort containing ``key``.
@@ -226,18 +245,29 @@ class RangePartitioner:
     """
 
     def __init__(self, nodes: Sequence[str], replication_factor: int = 3,
-                 keyspace: int = KEYSPACE, key_mapper=key_of):
+                 keyspace: int = KEYSPACE, key_mapper=key_of,
+                 topology=None, placement: str = "ring"):
         if replication_factor < 1:
             raise ValueError("replication_factor must be >= 1")
         if len(nodes) < replication_factor:
             raise ValueError(
                 f"need at least {replication_factor} nodes, "
                 f"got {len(nodes)}")
+        if placement not in ("ring", "spread", "local"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        if placement != "ring" and topology is None:
+            raise ValueError(
+                f"placement {placement!r} needs a topology")
+        if placement == "local" and topology.preferred_dc is None:
+            raise ValueError(
+                "placement 'local' needs topology.preferred_dc")
         self.nodes = list(nodes)
         self.replication_factor = replication_factor
         self.keyspace = keyspace
         self.key_mapper = key_mapper
         self.order_preserving = key_mapper is ordered_key_of
+        self.topology = topology
+        self.placement = placement
         self.version = 1
         #: last leader the layout layer heard about, per cohort — seeds
         #: client leader caches (a hint only; elections move leadership)
@@ -248,11 +278,58 @@ class RangePartitioner:
         lo = 0
         for i, _node in enumerate(self.nodes):
             hi = lo + step + (1 if i < remainder else 0)
-            members = tuple(self.nodes[(i + j) % n]
-                            for j in range(replication_factor))
-            self.cohorts.append(Cohort(i, KeyRange(lo, hi), members))
+            self.cohorts.append(Cohort(i, KeyRange(lo, hi),
+                                       self._members_for(i)))
             lo = hi
         self._reindex()
+
+    def _members_for(self, i: int) -> Tuple[str, ...]:
+        """Member set of base cohort ``i``.  ``members[0]`` is always
+        ``nodes[i]`` (the base-range owner) under every policy.
+
+        * ``ring`` — chained declustering: the next N-1 nodes in ring
+          order (the paper's placement; topology-oblivious).
+        * ``spread`` — walk the ring but prefer nodes in datacenters
+          the cohort does not cover yet: every cohort spans as many DCs
+          as the replication factor allows, so a whole-DC outage never
+          takes a majority (cross-DC quorum; writes pay the WAN).
+        * ``local`` — put a majority in ``topology.preferred_dc`` and
+          spread the rest: strong writes commit inside the client DC
+          (local quorum, LAN-speed), at the price of losing write
+          availability if the preferred DC goes dark.
+        """
+        n = len(self.nodes)
+        rf = self.replication_factor
+        ring = [self.nodes[(i + j) % n] for j in range(n)]
+        if self.topology is None or self.placement == "ring":
+            return tuple(ring[:rf])
+        dc_of = self.topology.dc_of
+        members = [ring[0]]
+        if self.placement == "local":
+            preferred = self.topology.preferred_dc
+            local_needed = rf // 2 + 1
+            local = sum(1 for m in members if dc_of(m) == preferred)
+            for cand in ring[1:]:
+                if len(members) == rf or local >= local_needed:
+                    break
+                if dc_of(cand) == preferred and cand not in members:
+                    members.append(cand)
+                    local += 1
+        # Cover unseen datacenters first ("spread", and the remainder
+        # of "local"), then fill from the ring.
+        seen = {dc_of(m) for m in members}
+        for cand in ring[1:]:
+            if len(members) == rf:
+                break
+            if cand not in members and dc_of(cand) not in seen:
+                members.append(cand)
+                seen.add(dc_of(cand))
+        for cand in ring[1:]:
+            if len(members) == rf:
+                break
+            if cand not in members:
+                members.append(cand)
+        return tuple(members)
 
     def _reindex(self) -> None:
         self._by_id: Dict[int, Cohort] = {

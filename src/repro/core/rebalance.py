@@ -72,7 +72,7 @@ Failure cases:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..coord.recipes import CohortMapBoard
 from ..coord.znode import CoordError
@@ -377,6 +377,35 @@ def _finish_migration(replica, change: MembershipChange):
 # Planning
 # ---------------------------------------------------------------------------
 
+def _pick_residents(members: Sequence[str], joiner: str, count: int,
+                    topology) -> Tuple[str, ...]:
+    """Choose ``count`` resident members to seed a split's child cohort.
+
+    Topology-oblivious: the first ``count`` members (legacy behavior).
+    With a topology, prefer residents in datacenters the child cohort
+    (joiner included) does not cover yet, so elastic growth preserves
+    the DC spread that makes a whole-DC outage survivable; ties keep
+    member order.
+    """
+    pool = [m for m in members if m != joiner]
+    if topology is None:
+        return tuple(pool[:count])
+    picked: List[str] = []
+    seen = {topology.dc_of(joiner)}
+    for m in pool:
+        if len(picked) == count:
+            break
+        if topology.dc_of(m) not in seen:
+            picked.append(m)
+            seen.add(topology.dc_of(m))
+    for m in pool:
+        if len(picked) == count:
+            break
+        if m not in picked:
+            picked.append(m)
+    return tuple(picked)
+
+
 def plan_join(partitioner: RangePartitioner, new_nodes: Sequence[str],
               heat: Optional[Dict[int, float]] = None,
               moves_per_node: int = 1) -> List[MembershipChange]:
@@ -388,7 +417,8 @@ def plan_join(partitioner: RangePartitioner, new_nodes: Sequence[str],
     members form the child cohort, so the residents seed the new range
     from local data and the joiner catches up from whichever of them is
     elected.  The simulated layout/heat is updated between moves so
-    successive plans spread across cohorts.
+    successive plans spread across cohorts.  When the partitioner has a
+    topology, residents are picked DC-aware (:func:`_pick_residents`).
     """
     cohorts: Dict[int, Cohort] = {c.cohort_id: c
                                   for c in partitioner.cohorts}
@@ -411,9 +441,9 @@ def plan_join(partitioner: RangePartitioner, new_nodes: Sequence[str],
             src = cohorts[victim_id]
             mid = src.key_range.lo + (src.key_range.hi
                                       - src.key_range.lo) // 2
-            residents = tuple(
-                m for m in src.members
-                if m != name)[:max(len(src.members) - 1, 1)]
+            residents = _pick_residents(
+                src.members, name, max(len(src.members) - 1, 1),
+                partitioner.topology)
             new_members = (name,) + residents
             version += 1
             change = MembershipChange(
@@ -488,12 +518,19 @@ class Rebalancer:
                     yield timeout(sim, 0.25)
                     continue
                 self.attempts += 1
+                # The 10s floor budgets the migration itself (drain +
+                # catch-up service time, which dwarfs the wire); the
+                # rtt-derived term keeps the budget honest when the
+                # leader sits across a WAN link (timeout audit, cf.
+                # Network.rtt_bound).
+                migration_timeout = (
+                    10.0 + 4.0 * self.cluster.network.rtt_bound())
                 try:
                     reply = yield self.endpoint.request(
                         leader,
                         MigrationStart(cohort_id=change.cohort_id,
                                        change=change),
-                        size=256, timeout=10.0)
+                        size=256, timeout=migration_timeout)
                 except RpcTimeout:
                     continue
                 if not (isinstance(reply, dict) and reply.get("ok")):

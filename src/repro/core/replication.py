@@ -64,6 +64,17 @@ def _err(code: str, hint: Optional[str] = None) -> Dict:
     return {"ok": False, "code": code, "hint": hint}
 
 
+def _wan_hop(node, ctx) -> Dict:
+    """Extra fields for a ``route`` span: ``{"wan_hop": True}`` when the
+    serving node sits in a different datacenter than the request's
+    origin (the client crossed the WAN to reach us — see
+    OBSERVABILITY.md).  Empty on flat networks and local serves."""
+    topo = node.network.topology
+    if topo is not None and not topo.same_dc(ctx.origin, node.name):
+        return {"wan_hop": True}
+    return {}
+
+
 def _ok(result) -> Dict:
     return {"ok": True, "result": result}
 
@@ -465,7 +476,8 @@ class CohortReplica:
         node = self.node
         start = (ctx.last_sent_at if ctx.last_sent_at is not None
                  else ctx.root.start)
-        node.request_tracer.span_at(ctx, "route", node.name, start=start)
+        node.request_tracer.span_at(ctx, "route", node.name, start=start,
+                                    **_wan_hop(node, ctx))
 
     def _trace_force_done(self, lsn: LSN) -> None:
         """The write group topped by ``lsn`` is locally durable: close
@@ -743,7 +755,8 @@ class CohortReplica:
             start = (ctx.last_sent_at if ctx.last_sent_at is not None
                      else ctx.root.start)
             tracer.span_at(ctx, "route", node.name, start=start,
-                           end=serve_start, consistent=msg.consistent)
+                           end=serve_start, consistent=msg.consistent,
+                           **_wan_hop(node, ctx))
             tracer.span_at(ctx, "read_serve", node.name, start=serve_start)
             ctx.server_done_at = node.sim.now
         req.respond(_ok(result), size=size)
@@ -785,7 +798,8 @@ class CohortReplica:
             start = (ctx.last_sent_at if ctx.last_sent_at is not None
                      else ctx.root.start)
             tracer.span_at(ctx, "route", node.name, start=start,
-                           end=serve_start, consistent=msg.consistent)
+                           end=serve_start, consistent=msg.consistent,
+                           **_wan_hop(node, ctx))
             tracer.span_at(ctx, "read_serve", node.name, start=serve_start,
                            rows=len(rows))
             ctx.server_done_at = node.sim.now

@@ -12,6 +12,7 @@ from .process import (AllOf, AnyOf, Interrupt, Process, Timeout, all_of,
 from .resources import Resource, Store, serve
 from .rng import RngRegistry
 from .network import Endpoint, LatencyModel, Network, Request, RpcTimeout
+from .topology import Placement, Topology
 from .disk import DataDisk, DiskProfile, LogDevice
 from .metrics import Histogram, LatencyRecorder, summarize
 from .failure import FailureSchedule
@@ -24,6 +25,7 @@ __all__ = [
     "Resource", "Store", "serve",
     "RngRegistry",
     "Network", "Endpoint", "LatencyModel", "Request", "RpcTimeout",
+    "Topology", "Placement",
     "LogDevice", "DataDisk", "DiskProfile",
     "Histogram", "LatencyRecorder", "summarize",
     "FailureSchedule",

@@ -58,6 +58,13 @@ class LatencyModel:
         jitter = rng.expovariate(1.0 / self.jitter) if self.jitter else 0.0
         return self.base + transfer + jitter
 
+    def nominal(self, size_bytes: int = 4096,
+                jitter_mult: float = 3.0) -> float:
+        """Jitter-free delay estimate padded by ``jitter_mult`` mean
+        jitters — for timeout budgeting, never for transmission."""
+        transfer = size_bytes / self.bandwidth if self.bandwidth else 0.0
+        return self.base + transfer + jitter_mult * self.jitter
+
 
 class Request:
     """What an RPC handler receives: the payload plus a ``respond`` hook."""
@@ -96,9 +103,13 @@ class Network:
     """The switch: owns endpoints, channels, and the partition set."""
 
     def __init__(self, sim: Simulator, rng: RngRegistry,
-                 latency: Optional[LatencyModel] = None):
+                 latency: Optional[LatencyModel] = None, topology=None):
         self.sim = sim
         self.latency = latency or LatencyModel()
+        #: optional :class:`~repro.sim.topology.Topology`; when set,
+        #: per-message delay comes from the endpoints' placements
+        #: instead of the single flat ``latency`` model
+        self.topology = topology
         self._rng = rng.stream("network")
         self._endpoints: Dict[str, "Endpoint"] = {}
         self._last_delivery: Dict[Tuple[str, str], float] = {}
@@ -140,15 +151,25 @@ class Network:
         else:
             self._blocked_oneway.add((a, b))
 
-    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
-        """Heal one pair (both directions), or everything with no args."""
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None,
+             symmetric: bool = True) -> None:
+        """Heal one pair, or everything with no args.
+
+        By default both directions are restored (undoing a symmetric
+        ``block`` and any one-way blocks between the pair).  With
+        ``symmetric=False`` only the ``a`` → ``b`` direction is
+        unblocked — healing one leg of an asymmetric partition must not
+        silently heal the reverse leg too (it used to).
+        """
         if a is None:
             self._blocked.clear()
             self._blocked_oneway.clear()
-        else:
+        elif symmetric:
             self._blocked.discard(frozenset((a, b)))
             self._blocked_oneway.discard((a, b))
             self._blocked_oneway.discard((b, a))
+        else:
+            self._blocked_oneway.discard((a, b))
 
     def is_blocked(self, a: str, b: str) -> bool:
         """True when ``a`` → ``b`` traffic is blocked (directional)."""
@@ -184,6 +205,18 @@ class Network:
         self._extra_delays.clear()
         self.extra_delay = 0.0
 
+    # -- timeout budgeting ----------------------------------------------
+    def rtt_bound(self, size_bytes: int = 4096) -> float:
+        """Upper estimate of one request/reply round trip on this
+        network (jitter-padded, worst link).  Protocol layers derive
+        their per-try RPC timeouts from this instead of hardcoding
+        LAN-scale constants — on a WAN topology a literal ``1.0``/``2.0``
+        second budget turns every slow-but-healthy link into a spurious
+        :class:`RpcTimeout` retry storm."""
+        if self.topology is not None:
+            return self.topology.rtt_bound(size_bytes)
+        return 2.0 * self.latency.nominal(size_bytes)
+
     # -- transmission -----------------------------------------------------
     def _transmit(self, env: _Envelope) -> None:
         """Send one envelope.  This runs once per simulated message, so
@@ -207,7 +240,14 @@ class Network:
             if rate and self._rng.random() < rate:
                 self.messages_dropped += 1
                 return
-        delay = self.latency.delay(env.size, self._rng) + self.extra_delay
+        if self.topology is None:
+            delay = self.latency.delay(env.size, self._rng)
+        else:
+            # Same RNG consumption: Topology.delay draws exactly one
+            # jitter sample per message, like the flat model above.
+            delay = self.topology.delay(env.src, env.dst, env.size,
+                                        self._rng)
+        delay += self.extra_delay
         if self._extra_delays:
             delay += self._extra_delays.get((env.src, env.dst), 0.0)
         arrival = self.sim.now + delay

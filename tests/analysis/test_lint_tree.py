@@ -76,6 +76,41 @@ def test_cli_json_output_reports_injected_hazard(tmp_path, capsys):
     assert hazards[0]["line"] == 1
 
 
+def _copy_tree_with_topology_hazard(tmp_path: Path) -> Path:
+    """A copy of the sim package plus a module with the two dict-order
+    hazards the topology layer must avoid: injecting link faults and
+    placing endpoints while iterating an unsorted dict view."""
+    tree = tmp_path / "topo-tree"
+    shutil.copytree(REPRO_ROOT / "sim", tree / "sim")
+    (tree / "sim" / "injected_topology_hazard.py").write_text(
+        "def degrade_all(topo, net):\n"
+        "    for (src, dst), extra in topo.wan_delays.items():\n"
+        "        net.set_extra_delay(src, dst, extra)\n"
+        "def place_all(topo, dcs):\n"
+        "    for name, dc in dcs.items():\n"
+        "        topo.place(name, dc)\n")
+    return tree
+
+
+def test_topology_dict_iteration_hazards_fire(tmp_path, capsys):
+    tree = _copy_tree_with_topology_hazard(tmp_path)
+    rc = lint_main([str(tree), "--no-baseline", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    hazards = [f for f in payload["findings"]
+               if f["path"] == "sim/injected_topology_hazard.py"]
+    assert {f["line"] for f in hazards} == {2, 5}
+    assert all(f["rule"] == "dict-order" for f in hazards)
+
+
+def test_topology_module_is_covered_and_clean():
+    result = run_lint(REPRO_ROOT / "sim")
+    assert result.findings == []
+    checked = {p.name for p in (REPRO_ROOT / "sim").glob("*.py")}
+    assert "topology.py" in checked
+    assert result.files_checked == len(checked)
+
+
 def test_rule_filter_restricts_findings(tmp_path, capsys):
     tree = _copy_tree_with_hazard(tmp_path)
     rc = lint_main([str(tree), "--no-baseline", "--rule", "set-iteration"])

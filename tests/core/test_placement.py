@@ -1,0 +1,125 @@
+"""Tests for topology-aware replica placement and leader preference.
+
+The ``ring`` policy must stay byte-for-byte the paper's chained
+declustering; ``spread`` and ``local`` trade WAN latency against
+whole-DC survivability (§ the consistency/latency menu in DESIGN.md).
+"""
+
+import pytest
+
+from repro.core.partition import RangePartitioner, preference_order
+from repro.core.rebalance import _pick_residents
+from repro.sim.topology import Topology
+
+
+def three_dc_topology(n_nodes=6, preferred=None):
+    topo = Topology(wan_one_way=0.02, preferred_dc=preferred)
+    for i in range(n_nodes):
+        topo.place(f"n{i}", f"dc{i % 3}")
+    return topo
+
+
+NODES = [f"n{i}" for i in range(6)]
+
+
+# -- policy validation -------------------------------------------------------
+
+def test_unknown_policy_is_rejected():
+    with pytest.raises(ValueError, match="unknown placement"):
+        RangePartitioner(NODES, placement="zigzag",
+                         topology=three_dc_topology())
+
+
+def test_topology_aware_policies_require_a_topology():
+    for policy in ("spread", "local"):
+        with pytest.raises(ValueError, match="needs a topology"):
+            RangePartitioner(NODES, placement=policy)
+
+
+def test_local_policy_requires_a_preferred_dc():
+    with pytest.raises(ValueError, match="preferred_dc"):
+        RangePartitioner(NODES, placement="local",
+                         topology=three_dc_topology(preferred=None))
+
+
+# -- ring stays the legacy layout, even with a topology attached -------------
+
+def test_ring_ignores_the_topology():
+    flat = RangePartitioner(NODES, keyspace=600)
+    placed = RangePartitioner(NODES, keyspace=600, placement="ring",
+                              topology=three_dc_topology())
+    for a, b in zip(flat.cohorts, placed.cohorts):
+        assert a.members == b.members
+        assert a.members[0] == NODES[a.cohort_id]
+
+
+# -- spread: every cohort covers as many DCs as rf allows --------------------
+
+def test_spread_cohorts_span_three_datacenters():
+    topo = three_dc_topology()
+    part = RangePartitioner(NODES, keyspace=600, placement="spread",
+                            topology=topo)
+    for i, cohort in enumerate(part.cohorts):
+        assert cohort.members[0] == NODES[i]      # base owner keeps range
+        dcs = {topo.dc_of(m) for m in cohort.members}
+        assert dcs == {"dc0", "dc1", "dc2"}
+
+
+def test_spread_degrades_gracefully_with_fewer_dcs_than_rf():
+    topo = Topology(wan_one_way=0.02)
+    for i, node in enumerate(NODES):
+        topo.place(node, f"dc{i % 2}")            # only two DCs
+    part = RangePartitioner(NODES, keyspace=600, placement="spread",
+                            topology=topo)
+    for cohort in part.cohorts:
+        assert len(cohort.members) == 3
+        assert {topo.dc_of(m) for m in cohort.members} == {"dc0", "dc1"}
+
+
+# -- local: majority in the preferred DC, remainder spread -------------------
+
+def test_local_policy_puts_a_majority_in_the_preferred_dc():
+    topo = three_dc_topology(preferred="dc0")
+    part = RangePartitioner(NODES, keyspace=600, placement="local",
+                            topology=topo)
+    for i, cohort in enumerate(part.cohorts):
+        assert cohort.members[0] == NODES[i]
+        in_preferred = sum(1 for m in cohort.members
+                           if topo.dc_of(m) == "dc0")
+        assert in_preferred >= 2                  # majority of rf=3
+        # The remainder still reaches outside the preferred DC.
+        assert len({topo.dc_of(m) for m in cohort.members}) >= 2
+
+
+# -- leader preference -------------------------------------------------------
+
+def test_preference_order_is_identity_without_topology():
+    members = ("n3", "n1", "n2")
+    assert preference_order(members, None) == members
+    topo = three_dc_topology(preferred=None)
+    assert preference_order(members, topo) == members
+
+
+def test_preference_order_floats_preferred_dc_members_first():
+    topo = three_dc_topology(preferred="dc1")     # n1, n4 live there
+    got = preference_order(("n0", "n1", "n2", "n4"), topo)
+    assert got == ("n1", "n4", "n0", "n2")        # stable within groups
+
+
+# -- elastic growth keeps the DC spread --------------------------------------
+
+def test_pick_residents_is_legacy_prefix_without_topology():
+    members = ("a", "b", "c")
+    assert _pick_residents(members, "j", 2, None) == ("a", "b")
+
+
+def test_pick_residents_covers_dcs_the_joiner_misses():
+    topo = three_dc_topology()
+    topo.place("j", "dc0")
+    # Joiner already covers dc0, so residents come from dc1/dc2 first
+    # even though a dc0 member heads the list.
+    got = _pick_residents(("n0", "n1", "n2"), "j", 2, topo)
+    assert got == ("n1", "n2")
+    # With no un-covered DC left, fall back to member order.
+    got = _pick_residents(("n0", "n3"), "j", 2, topo)   # both in dc0
+    assert got == ("n0", "n3")

@@ -177,6 +177,36 @@ def test_one_way_block_only_stops_one_direction():
     assert got_b == ["after"]
 
 
+def test_directional_heal_leaves_the_reverse_block_in_place():
+    # Two independent one-way blocks; a directional heal of (a, b) must
+    # not discard the (b, a) block the way a symmetric heal would.
+    sim, net = make_net()
+    a, b = net.endpoint("a"), net.endpoint("b")
+    got_a, got_b = [], []
+    a.on_request(lambda req: got_a.append(req.payload))
+    b.on_request(lambda req: got_b.append(req.payload))
+    net.block("a", "b", symmetric=False)
+    net.block("b", "a", symmetric=False)
+    net.heal("a", "b", symmetric=False)
+    assert not net.is_blocked("a", "b")
+    assert net.is_blocked("b", "a")
+    a.send("b", "a->b")      # healed direction flows
+    b.send("a", "b->a")      # reverse stays blocked
+    sim.run()
+    assert got_b == ["a->b"] and got_a == []
+
+
+def test_symmetric_heal_still_clears_both_one_way_directions():
+    sim, net = make_net()
+    net.endpoint("a")
+    net.endpoint("b")
+    net.block("a", "b", symmetric=False)
+    net.block("b", "a", symmetric=False)
+    net.heal("a", "b")
+    assert not net.is_blocked("a", "b")
+    assert not net.is_blocked("b", "a")
+
+
 def test_heal_all_clears_one_way_blocks():
     sim, net = make_net()
     net.endpoint("a")
