@@ -1,0 +1,24 @@
+"""Self-tuning control plane (beyond the paper): tuned vs hand-tuned.
+
+Regenerates the experiment via :func:`repro.bench.experiments.fig_tune`,
+prints the tuned-vs-hand-tuned and recovery tables, and asserts the
+shape checks: every trial ledger shows a converging multi-trial search
+(monotone best-so-far), the tuned configs are never worse than the
+hand-tuned baselines beyond noise, at least one profile improves
+materially or all sit at parity, and the recovery arm — started from a
+deliberately detuned config — climbs back to within noise of the
+hand-tuned optimum.
+"""
+
+from repro.bench.experiments import fig_tune
+from repro.bench.report import render
+
+from conftest import SCALE
+
+
+def test_fig_tune(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig_tune(scale=SCALE), rounds=1, iterations=1)
+    print()
+    print(render(result))
+    assert result.passed, render(result)

@@ -18,6 +18,13 @@
                                  scale, print the hot-path report
                                  ([experiment] [--scale S] [--sort KEY]
                                  [--limit N])
+``python -m repro tune``       — offline self-tuning of protocol knobs
+                                 (coordinate descent over the knob
+                                 registry, phase-weighted objective,
+                                 deterministic per seed; [--profile P]
+                                 [--seed N] [--max-trials K]
+                                 [--ledger F] [--write-config]); see
+                                 TUNING.md
 """
 
 from __future__ import annotations
@@ -176,8 +183,11 @@ def main(argv) -> int:
         return trace_main(rest)
     if command == "profile":
         return _profile(rest)
+    if command == "tune":
+        from .tune.cli import main as tune_main
+        return tune_main(rest)
     print(f"unknown command {command!r}; try 'bench', 'demo', 'chaos', "
-          f"'lint', 'trace' or 'profile'")
+          f"'lint', 'trace', 'profile' or 'tune'")
     return 2
 
 

@@ -32,7 +32,7 @@ __all__ = ["LintResult", "run_lint", "iter_py_files", "is_sim_visible"]
 
 #: top-level packages whose code never runs inside the simulation
 #: (reporting, CLIs, and this analysis suite itself)
-NON_SIM_PACKAGES = {"bench", "analysis"}
+NON_SIM_PACKAGES = {"bench", "analysis", "tune"}
 NON_SIM_FILES = {"__main__.py", "cli.py"}  # CLI front-ends print by design
 
 

@@ -58,6 +58,25 @@ class LoadPoint:
 # Targets
 # ---------------------------------------------------------------------------
 
+def _tuned_overlay(config: Optional[SpinnakerConfig]
+                   ) -> Optional[SpinnakerConfig]:
+    """Apply the active ``--tuned-profile`` overlay, if any.
+
+    ``repro.tune.profiles.activate_tuned_profile`` arms a knob overlay
+    (loaded from ``configs/tuned-<profile>.json``); every Spinnaker
+    cluster the harness builds while it is armed gets those values laid
+    over whatever config the experiment chose, so one flag retunes a
+    whole bench run.  Imported lazily: the tuner's evaluator drives
+    this harness, so the module dependency must stay one-way.
+    """
+    from ..tune.profiles import active_overlay
+    from ..tune.registry import apply_values
+    overlay = active_overlay()
+    if not overlay:
+        return config
+    return apply_values(config or SpinnakerConfig(), overlay)
+
+
 class SpinnakerTarget:
     """Adapter: the harness drives a Spinnaker cluster."""
 
@@ -65,10 +84,14 @@ class SpinnakerTarget:
 
     def __init__(self, n_nodes: int = 10,
                  config: Optional[SpinnakerConfig] = None, seed: int = 0,
-                 request_tracer=None):
-        self.cluster = SpinnakerCluster(n_nodes=n_nodes, config=config,
+                 request_tracer=None, topology=None,
+                 placement: str = "ring"):
+        self.cluster = SpinnakerCluster(n_nodes=n_nodes,
+                                        config=_tuned_overlay(config),
                                         seed=seed,
-                                        request_tracer=request_tracer)
+                                        request_tracer=request_tracer,
+                                        topology=topology,
+                                        placement=placement)
         self.sim = self.cluster.sim
 
     def start(self) -> None:

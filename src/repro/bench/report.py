@@ -12,6 +12,10 @@ them into an existing same-scale report instead of replacing it.  Experiments wi
 attribution from ``repro.obs`` (see OBSERVABILITY.md); ``--refresh-phases
 FILE`` re-runs only the probes and rewrites the ``phases`` sections of
 an existing report without re-running the (much slower) sweeps.
+``--tuned-profile NAME`` applies the checked-in
+``configs/tuned-<NAME>.json`` knob overlay to every Spinnaker cluster
+the run builds (see TUNING.md); reports tagged with a tuned profile
+only merge into reports with the same tag.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .experiments import ALL_EXPERIMENTS, PHASE_PROBES, ExperimentResult
 from .harness import LoadPoint
@@ -81,26 +85,31 @@ def summarize(result: ExperimentResult) -> dict:
 
 
 def write_bench_report(results: List[ExperimentResult], path: str,
-                       scale: float, merge: bool = False) -> None:
+                       scale: float, merge: bool = False,
+                       tuned_profile: Optional[str] = None) -> None:
     """Write the cross-PR perf-tracking summary (``BENCH_report.json``).
 
     With ``merge=True`` (a subset run) the named experiments are spliced
     into the existing report instead of replacing it, so re-running one
-    experiment doesn't discard the rest — but only when the scales
-    match; a scale change invalidates the old numbers, so the file is
-    rewritten from just this run.
+    experiment doesn't discard the rest — but only when the scales (and
+    any active ``--tuned-profile``) match; a scale or overlay change
+    invalidates the old numbers, so the file is rewritten from just
+    this run.
     """
     payload = {
         "scale": scale,
         "experiments": {r.exp_id: summarize(r) for r in results},
     }
+    if tuned_profile is not None:
+        payload["tuned_profile"] = tuned_profile
     if merge:
         try:
             with open(path) as fh:
                 existing = json.load(fh)
         except (OSError, ValueError):
             existing = None
-        if existing is not None and existing.get("scale") == scale:
+        if (existing is not None and existing.get("scale") == scale
+                and existing.get("tuned_profile") == tuned_profile):
             merged = dict(existing.get("experiments", {}))
             merged.update(payload["experiments"])
             payload["experiments"] = merged
@@ -190,6 +199,7 @@ def main(argv: List[str]) -> int:
     json_path = None
     report_path = None
     refresh_path = None
+    tuned_profile = None
     names: List[str] = []
     it = iter(argv)
     for arg in it:
@@ -201,6 +211,8 @@ def main(argv: List[str]) -> int:
             report_path = next(it)
         elif arg == "--refresh-phases":
             refresh_path = next(it)
+        elif arg == "--tuned-profile":
+            tuned_profile = next(it)
         else:
             names.append(arg)
     if refresh_path is not None:
@@ -214,26 +226,38 @@ def main(argv: List[str]) -> int:
     status = 0
     collected = []
     results = []
-    for name in names:
-        fn = ALL_EXPERIMENTS.get(name)
-        if fn is None:
-            print(f"unknown experiment {name!r}; "
-                  f"choices: {', '.join(ALL_EXPERIMENTS)}")
-            return 2
-        result = fn(scale=scale)
-        print(render(result))
-        print()
-        collected.append(to_dict(result))
-        results.append(result)
-        if not result.passed:
-            status = 1
+    if tuned_profile is not None:
+        from ..tune.profiles import (activate_tuned_profile,
+                                     clear_tuned_profile)
+        activate_tuned_profile(tuned_profile)
+        print(f"tuned profile {tuned_profile!r} active: every Spinnaker "
+              f"cluster gets the configs/tuned-{tuned_profile}.json "
+              f"overlay\n")
+    try:
+        for name in names:
+            fn = ALL_EXPERIMENTS.get(name)
+            if fn is None:
+                print(f"unknown experiment {name!r}; "
+                      f"choices: {', '.join(ALL_EXPERIMENTS)}")
+                return 2
+            result = fn(scale=scale)
+            print(render(result))
+            print()
+            collected.append(to_dict(result))
+            results.append(result)
+            if not result.passed:
+                status = 1
+    finally:
+        if tuned_profile is not None:
+            clear_tuned_profile()
     if json_path is not None:
         with open(json_path, "w") as fh:
             json.dump({"scale": scale, "results": collected}, fh,
                       indent=2)
         print(f"wrote {json_path}")
     if report_path is not None:
-        write_bench_report(results, report_path, scale, merge=subset)
+        write_bench_report(results, report_path, scale, merge=subset,
+                           tuned_profile=tuned_profile)
         print(f"wrote {report_path}")
     return status
 

@@ -1,0 +1,132 @@
+"""``python -m repro tune`` — the offline protocol-knob tuner.
+
+Runs deterministic coordinate descent for one profile, prints the trial
+ledger as a table, and optionally writes the JSON ledger
+(``--ledger``) and the winning overlay as the checked-in tuned config
+(``--write-config`` → ``configs/tuned-<profile>.json``).  Same seed
+and flags → bit-identical ledger.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+__all__ = ["main"]
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _print_ledger(result) -> None:
+    print(f"{'trial':>5}  {'knob':<26}{'value':>10}  {'score':>10}  "
+          f"{'p50 ms':>8}  {'req/s':>8}  {'best':>10}  adopted")
+    for trial in result.trials:
+        knob = trial.knob or "(baseline)"
+        value = "-" if trial.value is None else _fmt_value(trial.value)
+        m = trial.eval.metrics
+        print(f"{trial.index:>5}  {knob:<26}{value:>10}  "
+              f"{trial.eval.score:>10.3f}  {m['p50_ms']:>8.2f}  "
+              f"{m['throughput']:>8.0f}  {trial.best_so_far:>10.3f}  "
+              f"{'*' if trial.adopted else ''}")
+
+
+def main(argv: List[str]) -> int:
+    from .profiles import PROFILES, get_profile, write_tuned_config
+    from .search import tune
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Offline self-tuning of protocol knobs: coordinate "
+                    "descent over the knob registry, scored by a "
+                    "phase-weighted objective on deterministic sim "
+                    "runs.  Same seed, same ledger.")
+    parser.add_argument("--profile", default="sata",
+                        choices=sorted(PROFILES),
+                        help="hardware/topology profile to tune "
+                             "(default sata)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="tuner seed: seeds every trial's "
+                             "simulation (default 1)")
+    parser.add_argument("--max-trials", type=int, default=48,
+                        help="hard evaluation budget, baseline "
+                             "included (default 48)")
+    parser.add_argument("--passes", type=int, default=3,
+                        help="max coordinate-descent sweeps over the "
+                             "searched knobs (default 3)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="per-trial budget scale, like bench "
+                             "--scale (default 1.0)")
+    parser.add_argument("--ledger", metavar="FILE",
+                        help="write the JSON trial ledger here")
+    parser.add_argument("--write-config", action="store_true",
+                        help="write the winning overlay to "
+                             "configs/tuned-<profile>.json")
+    parser.add_argument("--detuned-start", action="store_true",
+                        help="start the search from the deliberately "
+                             "bad DETUNED_START overlay instead of the "
+                             "hand-tuned defaults (recovery demo)")
+    parser.add_argument("--list-knobs", action="store_true",
+                        help="print the profile's search space and "
+                             "exit")
+    args = parser.parse_args(argv)
+
+    profile = get_profile(args.profile)
+    if args.list_knobs:
+        from .registry import get_knob
+        print(f"profile {profile.name}: {profile.doc}")
+        print(f"objective focus: "
+              f"{', '.join(profile.objective.focus_phases)}")
+        for name in profile.searched:
+            knob = get_knob(name)
+            cands = ", ".join(_fmt_value(c) for c in knob.candidates)
+            print(f"  {name:<26} default={_fmt_value(knob.default):<8} "
+                  f"grid=[{cands}]")
+        return 0
+
+    from .profiles import DETUNED_START
+    result = tune(args.profile, seed=args.seed,
+                  max_trials=args.max_trials, passes=args.passes,
+                  scale=args.scale,
+                  start=DETUNED_START if args.detuned_start else None)
+    _print_ledger(result)
+    base = result.baseline.eval.metrics
+    best = result.best_trial.eval.metrics
+    print(f"\nprofile {result.profile} (seed {args.seed}): "
+          f"{len(result.trials)} trials, "
+          f"{'converged' if result.converged else 'budget exhausted'} "
+          f"after {result.passes_run} pass(es)")
+    print(f"baseline score {result.baseline_score:.3f} "
+          f"(p50 {base['p50_ms']:.2f} ms, {base['throughput']:.0f} "
+          f"req/s) -> best {result.best_score:.3f} "
+          f"(p50 {best['p50_ms']:.2f} ms, {best['throughput']:.0f} "
+          f"req/s)")
+    if result.best_values:
+        print("tuned overlay: " + ", ".join(
+            f"{k}={_fmt_value(v)}"
+            for k, v in sorted(result.best_values.items())))
+    else:
+        print("tuned overlay: (defaults already optimal under this "
+              "objective)")
+    if args.ledger:
+        result.write_ledger(args.ledger)
+        print(f"wrote {args.ledger}")
+    if args.write_config:
+        path = write_tuned_config(
+            args.profile, result.best_values,
+            meta={"seed": args.seed, "scale": args.scale,
+                  "trials": len(result.trials),
+                  "converged": result.converged,
+                  "baseline_score": result.baseline_score,
+                  "best_score": result.best_score,
+                  "baseline_p50_ms": base["p50_ms"],
+                  "best_p50_ms": best["p50_ms"],
+                  "baseline_throughput": base["throughput"],
+                  "best_throughput": best["throughput"]})
+        print(f"wrote {path}")
+    return 0

@@ -1,10 +1,11 @@
 """CI docs gate: the README and top-level markdown stay in sync with
 the tree.
 
-Three checks, each tied to a drift that has actually happened in repos
+Four checks, each tied to a drift that has actually happened in repos
 like this one: a new package that never makes it into the architecture
-map, a new CLI subcommand missing from the reference table, and a
-renamed file leaving dangling markdown links.
+map, a new CLI subcommand missing from the reference table, a renamed
+file leaving dangling markdown links, and TUNING.md's knob inventory
+drifting from the registry it documents.
 """
 
 import re
@@ -13,6 +14,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 README = REPO / "README.md"
+TUNING = REPO / "TUNING.md"
 
 
 def _packages():
@@ -47,6 +49,38 @@ def test_every_cli_subcommand_is_in_the_readme_cli_table():
     assert not missing, (
         f"subcommands missing from README.md's CLI reference table: "
         f"{missing}")
+
+
+def _inventory_knobs():
+    """Knob names documented in TUNING.md's inventory tables.
+
+    Inventory rows are table lines whose first cell is a backticked
+    knob name: ``| `commit_period` | ... |``.
+    """
+    text = TUNING.read_text()
+    section = text.split("## Knob inventory", 1)[1].split("\n## ", 1)[0]
+    return re.findall(r"^\|\s*`(\w+)`", section, flags=re.MULTILINE)
+
+
+def test_tuning_inventory_matches_the_registry():
+    from repro.tune.registry import knob_names
+    documented = _inventory_knobs()
+    assert len(documented) == len(set(documented)), (
+        "duplicate knob rows in TUNING.md's inventory")
+    registry = set(knob_names())
+    phantom = sorted(set(documented) - registry)
+    missing = sorted(registry - set(documented))
+    assert not phantom, (
+        f"TUNING.md documents knobs the registry doesn't have: {phantom}")
+    assert not missing, (
+        f"registry knobs missing from TUNING.md's inventory: {missing}")
+
+
+def test_tuning_inventory_rows_are_in_registry_order():
+    # registry order is the coordinate-descent walk order; the doc
+    # mirrors it so a ledger reads top-to-bottom against the table
+    from repro.tune.registry import knob_names
+    assert _inventory_knobs() == knob_names()
 
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

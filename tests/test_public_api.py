@@ -40,4 +40,4 @@ def test_headline_types_importable_from_one_place():
                             SpinnakerConfig, Transaction)
     from repro.baseline import CassandraCluster
     from repro.bench import ALL_EXPERIMENTS
-    assert len(ALL_EXPERIMENTS) == 18
+    assert len(ALL_EXPERIMENTS) == 19

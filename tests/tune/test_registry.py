@@ -1,0 +1,78 @@
+"""The knob registry must match the real config dataclass exactly."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SpinnakerConfig
+from repro.tune.registry import (KNOBS, apply_values, config_values,
+                                 get_knob, knob_names, searched_knobs,
+                                 validate_registry, validate_values)
+
+
+def test_registry_validates_against_config():
+    validate_registry()
+
+
+def test_every_knob_is_a_config_field_with_matching_default():
+    fields = {f.name: f for f in dataclasses.fields(SpinnakerConfig)}
+    for knob in KNOBS:
+        assert knob.name in fields
+        assert knob.default == fields[knob.name].default
+        assert knob.contains(knob.default)
+
+
+def test_knob_names_unique_and_lookup_round_trips():
+    names = knob_names()
+    assert len(names) == len(set(names))
+    for name in names:
+        assert get_knob(name).name == name
+    with pytest.raises(KeyError):
+        get_knob("no_such_knob")
+
+
+def test_searched_knobs_have_in_range_candidates():
+    searched = searched_knobs()
+    assert searched, "the default search space must not be empty"
+    for knob in searched:
+        assert len(knob.candidates) >= 2
+        for cand in knob.candidates:
+            assert knob.contains(cand)
+
+
+def test_apply_values_overlays_without_mutating_the_original():
+    base = SpinnakerConfig()
+    out = apply_values(base, {"commit_period": 0.5,
+                              "propose_batching": False})
+    assert out.commit_period == 0.5
+    assert out.propose_batching is False
+    assert base.commit_period == get_knob("commit_period").default
+    assert base.propose_batching is True
+
+
+def test_apply_values_rejects_bad_overlays():
+    base = SpinnakerConfig()
+    with pytest.raises(KeyError):
+        apply_values(base, {"no_such_knob": 1})
+    with pytest.raises(ValueError):
+        apply_values(base, {"commit_period": -1.0})  # below lo
+    with pytest.raises(ValueError):
+        apply_values(base, {"propose_batch_max_records": 2.5})  # not int
+    with pytest.raises(ValueError):
+        apply_values(base, {"group_commit": 1})  # int is not bool
+
+
+def test_validate_values_accepts_range_edges():
+    knob = get_knob("commit_period")
+    validate_values({"commit_period": knob.lo})
+    validate_values({"commit_period": knob.hi})
+    with pytest.raises(ValueError):
+        validate_values({"commit_period": knob.hi * 2})
+
+
+def test_config_values_reads_back_the_overlay():
+    cfg = apply_values(SpinnakerConfig(), {"commit_period": 0.25})
+    values = config_values(cfg, ["commit_period", "group_commit"])
+    assert values == {"commit_period": 0.25, "group_commit": True}
+    everything = config_values(cfg)
+    assert set(everything) == set(knob_names())
